@@ -1,0 +1,71 @@
+"""Fig. 11 — per-node memory usage of PGPBA and PGSK vs graph size.
+
+Paper: worker memory is nearly flat (~10 GB/node of platform overhead) for
+graphs up to ~1e8 edges, then grows linearly up to ~300 GB/node at 2e10
+edges.
+
+Here: the simulated memory meter reproduces both regions — the constant
+platform-overhead floor for small graphs and linear growth once the data
+dominates.  Scale: the simulator's overhead floor is 256 MB/node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import save_series
+from repro.bench import default_cluster
+from repro.core import PGPBA, PGSK
+
+FACTORS = (2, 8, 32, 128, 512, 2048)
+
+
+def run_fig11(seed_graph, seed_analysis):
+    pgsk = PGSK(seed=11, kronfit_iterations=8, kronfit_swaps=30)
+    initiator = pgsk.fit_initiator(seed_graph)
+    rows = []
+    for factor in FACTORS:
+        target = factor * seed_graph.n_edges
+        res_ba = PGPBA(fraction=2.0, seed=11).generate(
+            seed_graph, seed_analysis, target, context=default_cluster()
+        )
+        res_sk = pgsk.generate(
+            seed_graph, seed_analysis, target,
+            context=default_cluster(), initiator=initiator,
+        )
+        rows.append(
+            [
+                target,
+                res_ba.peak_node_memory_bytes / 2**20,
+                res_sk.peak_node_memory_bytes / 2**20,
+            ]
+        )
+    return rows
+
+
+def test_fig11_memory_usage(benchmark, seed_graph, seed_analysis):
+    rows = run_fig11(seed_graph, seed_analysis)
+    save_series(
+        "fig11",
+        "Fig. 11: peak worker memory (MiB/node, simulated) vs graph size",
+        ["target_edges", "PGPBA_MiB_per_node", "PGSK_MiB_per_node"],
+        rows,
+    )
+    floor = 1.0  # NodeSpec.memory_overhead_bytes in MiB
+    # Left region: small graphs sit at the platform-overhead floor.
+    assert rows[0][1] <= floor * 1.5
+    # Right region: memory grows with graph size and clearly leaves the
+    # floor at the largest size.
+    mems_ba = [r[1] for r in rows]
+    assert mems_ba[-1] > 2.0 * floor  # clearly out of the flat region
+    assert mems_ba[-1] > mems_ba[0]
+    assert all(b >= a - 1e-6 for a, b in zip(mems_ba, mems_ba[1:]))
+
+    def op():
+        ctx = default_cluster()
+        PGPBA(fraction=2.0, seed=12).generate(
+            seed_graph, seed_analysis, 8 * seed_graph.n_edges, context=ctx
+        )
+        return ctx.metrics.peak_node_memory_bytes
+
+    benchmark.pedantic(op, rounds=1, iterations=1)

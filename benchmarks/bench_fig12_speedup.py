@@ -1,0 +1,90 @@
+"""Fig. 12 — strong-scaling speedup of PGPBA and PGSK.
+
+Paper: fixed-size generation (the largest graphs 10 nodes can handle:
+9.6 B edges for PGPBA with fraction=2, 6 B for PGSK) on 10..60 compute
+nodes.  PGPBA's speedup is near-ideal; PGSK also scales linearly but sits
+further from ideal because its distinct() shuffles parallelise less well.
+
+Here: fixed 128x-seed targets on simulated clusters of 10..60 nodes.
+Speedup is measured against the 10-node run, as in the paper.
+"""
+
+from __future__ import annotations
+
+from conftest import save_series
+from repro.core import PGPBA, PGSK
+from repro.engine import ClusterContext
+
+NODES = (10, 20, 30, 40, 50, 60)
+FACTOR = 512
+REPEATS = 2
+
+
+def _ctx(nodes: int) -> ClusterContext:
+    return ClusterContext(
+        n_nodes=nodes, executor_cores=12, partition_multiplier=2
+    )
+
+
+def run_fig12(seed_graph, seed_analysis):
+    pgsk = PGSK(seed=12, kronfit_iterations=8, kronfit_swaps=30)
+    initiator = pgsk.fit_initiator(seed_graph)
+    target = FACTOR * seed_graph.n_edges
+    times = {"PGPBA": {}, "PGSK": {}}
+    for nodes in NODES:
+        # Best-of-REPEATS suppresses wall-clock measurement noise in the
+        # per-task cost samples, as timing studies conventionally do.
+        times["PGPBA"][nodes] = min(
+            PGPBA(fraction=2.0, seed=12).generate(
+                seed_graph, seed_analysis, target, context=_ctx(nodes)
+            ).total_seconds
+            for _ in range(REPEATS)
+        )
+        times["PGSK"][nodes] = min(
+            pgsk.generate(
+                seed_graph, seed_analysis, target,
+                context=_ctx(nodes), initiator=initiator,
+            ).total_seconds
+            for _ in range(REPEATS)
+        )
+    rows = []
+    for nodes in NODES:
+        rows.append(
+            [
+                nodes,
+                nodes / NODES[0],  # ideal
+                times["PGPBA"][NODES[0]] / times["PGPBA"][nodes],
+                times["PGSK"][NODES[0]] / times["PGSK"][nodes],
+            ]
+        )
+    return rows
+
+
+def test_fig12_strong_scaling_speedup(benchmark, seed_graph, seed_analysis):
+    rows = run_fig12(seed_graph, seed_analysis)
+    save_series(
+        "fig12",
+        "Fig. 12: strong-scaling speedup vs 10 nodes (fixed problem size)",
+        ["nodes", "ideal", "PGPBA_speedup", "PGSK_speedup"],
+        rows,
+    )
+    last = rows[-1]
+    ideal, ba, sk = last[1], last[2], last[3]
+    # PGPBA approaches ideal; PGSK scales but sits clearly below it.
+    assert ba > 3.5
+    assert sk > 1.5
+    assert ba > sk
+    # Broadly monotone speedups (10% slack for measurement noise).
+    for col in (2, 3):
+        series = [r[col] for r in rows]
+        assert all(b >= a * 0.90 for a, b in zip(series, series[1:]))
+    # Neither exceeds ideal (no superlinear artifacts).
+    assert ba <= ideal * 1.10 and sk <= ideal * 1.10
+
+    def op():
+        return PGPBA(fraction=2.0, seed=13).generate(
+            seed_graph, seed_analysis, 32 * seed_graph.n_edges,
+            context=_ctx(30),
+        )
+
+    benchmark.pedantic(op, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Fig. 6 — evaluation of degree veracity vs synthetic-graph size.
+
+Paper: degree veracity scores of PGSK and of PGPBA at fractions 0.1, 0.3,
+0.6, 0.9 all decrease roughly linearly (log-log) as the generated graph
+grows; PGSK can start below the seed size while PGPBA only grows; PGPBA at
+fraction 0.1 is comparable to PGSK.
+
+Here: the same sweep at laptop scale (multiples of the ~2k-edge seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import save_series
+from repro.bench import default_cluster
+from repro.core import PGPBA, PGSK, degree_veracity
+
+FRACTIONS = (0.1, 0.3, 0.6, 0.9)
+PGPBA_FACTORS = (3, 10, 30, 100)
+PGSK_TARGETS_FACTORS = (0.05, 0.5, 3, 10, 30, 100)  # can go below the seed
+
+
+def run_fig6(seed_graph, seed_analysis):
+    rows = []
+    for fraction in FRACTIONS:
+        for factor in PGPBA_FACTORS:
+            res = PGPBA(
+                fraction=fraction, seed=6, generate_properties=False
+            ).generate(
+                seed_graph, seed_analysis, factor * seed_graph.n_edges,
+                context=default_cluster(),
+            )
+            rows.append(
+                [
+                    f"PGPBA f={fraction}",
+                    res.graph.n_edges,
+                    degree_veracity(seed_graph, res.graph),
+                ]
+            )
+    pgsk = PGSK(seed=6, generate_properties=False,
+                kronfit_iterations=10, kronfit_swaps=40)
+    initiator = pgsk.fit_initiator(seed_graph)
+    for factor in PGSK_TARGETS_FACTORS:
+        target = max(16, int(factor * seed_graph.n_edges))
+        res = pgsk.generate(
+            seed_graph, seed_analysis, target,
+            context=default_cluster(), initiator=initiator,
+        )
+        rows.append(
+            [
+                "PGSK",
+                res.graph.n_edges,
+                degree_veracity(seed_graph, res.graph),
+            ]
+        )
+    return rows
+
+
+def test_fig6_degree_veracity(benchmark, seed_graph, seed_analysis):
+    rows = run_fig6(seed_graph, seed_analysis)
+    save_series(
+        "fig6",
+        "Fig. 6: degree veracity score vs synthetic size (lower = better)",
+        ["series", "edges", "degree_veracity"],
+        rows,
+    )
+    # The paper's trend: within each series, veracity decreases with size.
+    by_series: dict[str, list[tuple[int, float]]] = {}
+    for name, edges, score in rows:
+        by_series.setdefault(name, []).append((edges, score))
+    for name, pts in by_series.items():
+        pts.sort()
+        sizes = np.log([p[0] for p in pts])
+        scores = np.log([max(p[1], 1e-300) for p in pts])
+        slope = np.polyfit(sizes, scores, 1)[0]
+        assert slope < 0, f"veracity must improve with size for {name}"
+
+    def op():
+        return degree_veracity(seed_graph, seed_graph)
+
+    benchmark.pedantic(op, rounds=3, iterations=1)

@@ -1,0 +1,80 @@
+"""Fig. 8 — single-node throughput vs number of executor cores.
+
+Paper: on one 20-core Shadow II node, generation throughput for both PGPBA
+and PGSK rises with ``total-executor-cores`` up to 12 and then plateaus —
+"there is no performance increase in using the remaining cores".  That
+study fixed the 12-cores-per-node rule used by every other experiment.
+
+Here: the simulated node reproduces the saturation (memory-bandwidth
+contention model in :class:`repro.engine.scheduler.NodeSpec`).
+"""
+
+from __future__ import annotations
+
+from conftest import save_series
+from repro.core import PGPBA, PGSK
+from repro.engine import ClusterContext
+
+CORES = (1, 2, 4, 8, 12, 16, 20)
+TARGET_FACTOR = 20
+
+
+def _throughput(
+    generator, seed_graph, seed_analysis, cores, repeats=3, **kwargs
+):
+    """Median over repeats: simulated cost carries real measurement noise
+    (each task's CPU time is measured with perf_counter), so a single run
+    can wobble ~10% — the paper's plots average multiple runs too."""
+    samples = []
+    for _ in range(repeats):
+        ctx = ClusterContext(
+            n_nodes=1, executor_cores=cores, partition_multiplier=2
+        )
+        res = generator.generate(
+            seed_graph, seed_analysis, TARGET_FACTOR * seed_graph.n_edges,
+            context=ctx, **kwargs,
+        )
+        samples.append(res.graph.n_edges / res.total_seconds)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def run_fig8(seed_graph, seed_analysis):
+    pgsk = PGSK(seed=8, kronfit_iterations=8, kronfit_swaps=30)
+    initiator = pgsk.fit_initiator(seed_graph)
+    rows = []
+    for cores in CORES:
+        tp_ba = _throughput(
+            PGPBA(fraction=0.5, seed=8), seed_graph, seed_analysis, cores
+        )
+        tp_sk = _throughput(
+            pgsk, seed_graph, seed_analysis, cores, initiator=initiator
+        )
+        rows.append([cores, tp_ba, tp_sk])
+    return rows
+
+
+def test_fig8_single_node_throughput(benchmark, seed_graph, seed_analysis):
+    rows = run_fig8(seed_graph, seed_analysis)
+    save_series(
+        "fig8",
+        "Fig. 8: single-node throughput (edges/s, simulated) vs executor cores",
+        ["cores", "PGPBA_eps", "PGSK_eps"],
+        rows,
+    )
+    by_cores = {r[0]: (r[1], r[2]) for r in rows}
+    for idx in (0, 1):  # both generators
+        # Rising region: 12 cores clearly beats 4.
+        assert by_cores[12][idx] > 1.5 * by_cores[4][idx]
+        # Plateau: 16 and 20 cores give no systematic improvement
+        # (15% slack absorbs wall-clock measurement noise).
+        assert by_cores[16][idx] <= 1.15 * by_cores[12][idx]
+        assert by_cores[20][idx] <= 1.15 * by_cores[12][idx]
+
+    def op():
+        ctx = ClusterContext(n_nodes=1, executor_cores=12)
+        return PGPBA(fraction=1.0, seed=9).generate(
+            seed_graph, seed_analysis, 4 * seed_graph.n_edges, context=ctx
+        )
+
+    benchmark.pedantic(op, rounds=1, iterations=1)

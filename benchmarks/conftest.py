@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every ``bench_*`` module reproduces one table or figure from the paper's
+evaluation (Section V).  Each exposes a ``run_*`` function that computes
+the figure's data series; the pytest-benchmark test times the figure's
+representative operation and writes the full series to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import cached_seed
+from repro.bench.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_series(name: str, title: str, headers, rows) -> str:
+    """Persist one figure's series; returns the rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table = format_table(headers, rows)
+    text = f"== {title} ==\n{table}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+    return table
+
+
+@pytest.fixture(scope="session")
+def seed_bundle():
+    """The benchmark seed (scaled stand-in for the SMIA 2011 trace)."""
+    return cached_seed()
+
+
+@pytest.fixture(scope="session")
+def seed_graph(seed_bundle):
+    return seed_bundle.graph
+
+
+@pytest.fixture(scope="session")
+def seed_analysis(seed_bundle):
+    return seed_bundle.analysis

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Explore the simulated cluster: scaling studies from Section V-B.
+
+Reproduces, at interactive scale, the three performance behaviours the
+paper demonstrates:
+
+* core saturation on one node (Fig. 8) — throughput plateaus at 12 of the
+  20 physical cores;
+* weak scaling with graph size (Figs. 9-11) — linear time and memory;
+* strong scaling with node count (Fig. 12) — near-ideal for PGPBA, lower
+  for PGSK because its distinct() shuffle has a serial component.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro import PGPBA, PGSK, ClusterContext, build_seed
+from repro.trace import synthesize_seed_packets
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    seed = build_seed(
+        synthesize_seed_packets(duration=20.0, session_rate=50, seed=7)
+    )
+    g, analysis = seed.graph, seed.analysis
+    print(f"seed: {g.n_edges} edges / {g.n_vertices} vertices")
+
+    pgsk = PGSK(seed=1, kronfit_iterations=10, kronfit_swaps=40)
+    initiator = pgsk.fit_initiator(g)
+
+    section("core saturation on a single 20-core node (Fig. 8)")
+    for cores in (2, 4, 8, 12, 16, 20):
+        ctx = ClusterContext(n_nodes=1, executor_cores=cores)
+        res = PGPBA(fraction=1.0, seed=1).generate(
+            g, analysis, 20 * g.n_edges, context=ctx
+        )
+        bar = "#" * int(res.edges_per_second / 4e4)
+        print(f"  {cores:>2} cores: {res.edges_per_second:>12,.0f} e/s {bar}")
+
+    section("weak scaling: size sweep on 16 nodes (Figs. 9-11)")
+    for factor in (8, 32, 128):
+        ctx = ClusterContext(n_nodes=16, executor_cores=12)
+        res = pgsk.generate(
+            g, analysis, factor * g.n_edges, context=ctx,
+            initiator=initiator,
+        )
+        print(
+            f"  {res.graph.n_edges:>8} edges: "
+            f"{res.total_seconds * 1e3:>8.2f} ms, "
+            f"{res.peak_node_memory_bytes / 2**20:7.1f} MiB/node"
+        )
+
+    section("strong scaling: fixed size, 4..32 nodes (Fig. 12)")
+    target = 64 * g.n_edges
+    base = {}
+    for nodes in (4, 8, 16, 32):
+        ctx_ba = ClusterContext(n_nodes=nodes, executor_cores=12)
+        ctx_sk = ClusterContext(n_nodes=nodes, executor_cores=12)
+        t_ba = PGPBA(fraction=2.0, seed=1).generate(
+            g, analysis, target, context=ctx_ba
+        ).total_seconds
+        t_sk = pgsk.generate(
+            g, analysis, target, context=ctx_sk, initiator=initiator
+        ).total_seconds
+        base.setdefault("ba", t_ba)
+        base.setdefault("sk", t_sk)
+        print(
+            f"  {nodes:>2} nodes: PGPBA speedup "
+            f"{base['ba'] / t_ba:5.2f}x | PGSK speedup "
+            f"{base['sk'] / t_sk:5.2f}x | ideal {nodes / 4:.0f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

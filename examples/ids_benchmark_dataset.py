@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Generate an IDS-benchmark dataset, exactly what the paper's suite is for.
+
+A next-generation (graph-based) IDS benchmark needs a large, realistic
+property-graph dataset.  This example plays the benchmark-provider role:
+
+1. Build a seed from a synthetic capture.
+2. Generate two large synthetic datasets — one per algorithm (PGPBA and
+   PGSK) — on a simulated 16-node cluster.
+3. Report size, veracity, generation cost and memory (the four qualities a
+   benchmark datasheet quotes: volume, velocity, veracity; variety comes
+   from the nine Netflow attributes).
+4. Export both datasets as attribute-bearing edge lists plus compressed
+   NumPy archives that a system under test can load.
+
+Run:  python examples/ids_benchmark_dataset.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    PGPBA,
+    PGSK,
+    ClusterContext,
+    build_seed,
+    evaluate_veracity,
+)
+from repro.graph.io import write_edge_list
+from repro.trace import synthesize_seed_packets
+
+SCALE = 30  # synthetic size as a multiple of the seed
+
+
+def datasheet(name, seed_graph, result, report) -> str:
+    lines = [
+        f"dataset          : {name}",
+        f"edges (volume)   : {result.graph.n_edges}",
+        f"vertices         : {result.graph.n_vertices}",
+        f"attributes       : {sorted(result.graph.edge_properties)}",
+        f"gen time (sim)   : {result.total_seconds * 1e3:.1f} ms on "
+        f"{result.n_nodes} nodes",
+        f"throughput       : {result.edges_per_second:,.0f} edges/s "
+        "(velocity)",
+        f"peak node memory : {result.peak_node_memory_bytes / 2**20:.1f} MiB",
+        f"degree veracity  : {report.degree_score:.3e}",
+        f"pagerank veracity: {report.pagerank_score:.3e}",
+        f"degree shape KS  : {report.degree_ks:.3f}",
+    ]
+    return "\n".join("  " + line for line in lines)
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dataset_out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("building seed ...")
+    seed = build_seed(
+        synthesize_seed_packets(duration=25.0, session_rate=60, seed=13)
+    )
+    print(
+        f"  seed: {seed.graph.n_edges} flows between "
+        f"{seed.graph.n_vertices} hosts"
+    )
+    target = SCALE * seed.graph.n_edges
+
+    generators = {
+        "pgpba": PGPBA(fraction=0.3, seed=2),
+        "pgsk": PGSK(seed=2, kronfit_iterations=12, kronfit_swaps=40),
+    }
+    for name, gen in generators.items():
+        print(f"\ngenerating {name.upper()} dataset ({target} edges) ...")
+        ctx = ClusterContext(n_nodes=16, executor_cores=12)
+        result = gen.generate(seed.graph, seed.analysis, target, context=ctx)
+        report = evaluate_veracity(seed.graph, result.graph)
+        print(datasheet(name, seed.graph, result, report))
+
+        tsv = out_dir / f"{name}_edges.tsv"
+        npz = out_dir / f"{name}_graph.npz"
+        write_edge_list(result.graph, tsv)
+        result.graph.save_npz(npz)
+        print(f"  wrote {tsv} and {npz}")
+
+    print(f"\nall datasets in {out_dir.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

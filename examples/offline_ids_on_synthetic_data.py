@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Offline intrusion detection over a *generated* property graph.
+
+The paper's §VI future work is an offline IDS running on the generated
+datasets.  This example closes that loop:
+
+1. Build a seed whose capture contains real (injected) attacks, so the
+   seed's attribute distributions include attack-like flows.
+2. Generate a larger synthetic property graph with PGPBA — the benchmark
+   dataset a graph-based IDS would be evaluated on.
+3. Run the offline detection pipeline over the synthetic graph (SYN/ACK
+   tallies are reconstructed from the PROTOCOL and STATE attributes) and
+   over the seed, comparing alarm volumes and detection timing.
+
+Run:  python examples/offline_ids_on_synthetic_data.py
+"""
+
+import time
+
+from repro import PGPBA, ClusterContext, build_seed
+from repro.detect import DetectionThresholds, OfflineDetectionPipeline
+from repro.netflow import FlowTable
+from repro.trace import attacks, synthesize_seed_packets
+from repro.trace.hosts import ipv4
+
+
+def main() -> None:
+    print("building an attack-bearing seed capture ...")
+    background = synthesize_seed_packets(
+        duration=20.0, session_rate=40, seed=11
+    )
+    gt = attacks.syn_flood(
+        attacker_ip=ipv4(203, 0, 113, 5),
+        victim_ip=ipv4(10, 2, 0, 2),
+        start_time=1_000_004.0,
+    )
+    frames = sorted(background + gt.frames, key=lambda f: f[0])
+    seed = build_seed(frames)
+    print(
+        f"  seed: {seed.graph.n_edges} flows / "
+        f"{seed.graph.n_vertices} hosts (includes a SYN flood)"
+    )
+
+    print("calibrating thresholds on the clean portion ...")
+    clean = build_seed(background)
+    thresholds = DetectionThresholds.fit_normal(
+        {k: clean.flow_table[k] for k in FlowTable.COLUMN_NAMES},
+        window_seconds=5.0,
+    )
+
+    print("generating the 20x synthetic benchmark graph ...")
+    ctx = ClusterContext(n_nodes=8, executor_cores=12)
+    result = PGPBA(fraction=0.3, seed=3).generate(
+        seed.graph, seed.analysis, 20 * seed.graph.n_edges, context=ctx
+    )
+    print(
+        f"  synthetic: {result.graph.n_edges} edges / "
+        f"{result.graph.n_vertices} vertices"
+    )
+
+    pipeline = OfflineDetectionPipeline(thresholds)
+
+    print("\noffline detection on the SEED graph (windowed) ...")
+    t0 = time.perf_counter()
+    windows = pipeline.detect_windowed(seed.graph, window_seconds=5.0)
+    elapsed = time.perf_counter() - t0
+    n_alarms = sum(len(w.detections) for w in windows)
+    print(
+        f"  {len(windows)} windows, {n_alarms} alarms "
+        f"in {elapsed * 1e3:.1f} ms"
+    )
+    for w in windows:
+        for det in w.detections:
+            print(
+                f"    t={w.window_start:.0f}s  {det.kind} "
+                f"({det.direction}) ip={det.ip}"
+            )
+
+    print("\noffline detection on the SYNTHETIC graph (whole graph) ...")
+    t0 = time.perf_counter()
+    detections = pipeline.detect(result.graph)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"  {len(detections)} alarms over {result.graph.n_edges} edges "
+        f"in {elapsed * 1e3:.1f} ms "
+        f"({result.graph.n_edges / max(elapsed, 1e-9):,.0f} edges/s scanned)"
+    )
+    print(
+        "  (the synthetic graph inherits the seed's *distributions*, not "
+        "its attack bursts — alarm volume reflects how strongly attack-like "
+        "attribute mass survives generation)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's full pipeline in ~40 lines.
+
+1. Synthesize a pcap-format network trace (the stand-in for a real capture
+   such as the SMIA 2011 dataset the paper seeds from).
+2. Build the seed: Bro-like flow assembly -> Netflow property graph ->
+   structural + attribute distribution analysis (Fig. 1).
+3. Grow a 20x synthetic property graph with PGPBA (Fig. 2).
+4. Score its veracity against the seed (Section V-A).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PGPBA, ClusterContext, build_seed, evaluate_veracity
+from repro.trace import synthesize_seed_packets
+
+
+def main() -> None:
+    print("1. synthesizing a 20-second enterprise trace ...")
+    frames = synthesize_seed_packets(duration=20.0, session_rate=50, seed=7)
+    print(f"   {len(frames)} packets")
+
+    print("2. building the seed (packets -> flows -> property graph) ...")
+    seed = build_seed(frames)
+    g = seed.graph
+    print(
+        f"   seed graph: {g.n_vertices} hosts, {g.n_edges} flows, "
+        f"{len(g.edge_properties)} edge attributes"
+    )
+    print(
+        "   in-degree mean "
+        f"{seed.analysis.in_degree.mean():.2f}, out-degree mean "
+        f"{seed.analysis.out_degree.mean():.2f}"
+    )
+
+    print("3. growing a 20x synthetic graph with PGPBA ...")
+    cluster = ClusterContext(n_nodes=8, executor_cores=12)
+    result = PGPBA(fraction=0.3, seed=1).generate(
+        seed.graph, seed.analysis, 20 * g.n_edges, context=cluster
+    )
+    print(
+        f"   {result.graph.n_edges} edges / {result.graph.n_vertices} "
+        f"vertices in {result.iterations} iterations"
+    )
+    print(
+        f"   simulated cluster time: {result.total_seconds * 1e3:.1f} ms "
+        f"({result.property_overhead:.0%} spent decorating attributes)"
+    )
+
+    print("4. veracity vs the seed ...")
+    report = evaluate_veracity(seed.graph, result.graph)
+    print(f"   degree veracity score   : {report.degree_score:.3e}")
+    print(f"   pagerank veracity score : {report.pagerank_score:.3e}")
+    print(f"   degree shape KS         : {report.degree_ks:.3f}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

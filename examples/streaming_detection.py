@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Online (streaming) intrusion detection — the paper's §VI outlook.
+
+Flows stream into the detector one at a time, as a live Netflow exporter
+would deliver them; the sliding-window detector raises alarms while the
+attack is still in flight, reporting the paper's headline metric: the
+time-to-detection.
+
+Run:  python examples/streaming_detection.py
+"""
+
+from repro.core.pipeline import _packets_from
+from repro.detect import DetectionThresholds, OnlineDetector
+from repro.netflow import FlowTable, assemble_flows
+from repro.trace import attacks, synthesize_seed_packets
+from repro.trace.hosts import ipv4
+
+WINDOW = 5.0
+
+
+def main() -> None:
+    print("synthesizing clean traffic + two timed attacks ...")
+    background = synthesize_seed_packets(
+        duration=30.0, session_rate=40, seed=17
+    )
+    flood = attacks.syn_flood(
+        attacker_ip=ipv4(203, 0, 113, 5),
+        victim_ip=ipv4(10, 2, 0, 2),
+        start_time=1_000_008.0,
+        duration=4.0,
+    )
+    scan = attacks.host_scan(
+        attacker_ip=ipv4(203, 0, 113, 6),
+        victim_ip=ipv4(10, 2, 0, 3),
+        start_time=1_000_018.0,
+        duration=6.0,
+    )
+    frames = sorted(
+        background + flood.frames + scan.frames, key=lambda f: f[0]
+    )
+    records = list(assemble_flows(_packets_from(frames)))
+    records.sort(key=lambda r: r.start_time)
+    print(f"  {len(records)} flows to stream")
+
+    print("calibrating thresholds on the clean prefix ...")
+    clean = FlowTable.from_records(
+        list(assemble_flows(_packets_from(background)))
+    )
+    thresholds = DetectionThresholds.fit_normal(
+        {k: clean[k] for k in FlowTable.COLUMN_NAMES},
+        window_seconds=WINDOW,
+    )
+
+    detector = OnlineDetector(
+        thresholds, window_seconds=WINDOW, cooldown_seconds=30.0
+    )
+    t_start = records[0].start_time
+    print("\nstreaming ... (stream-time alarms)")
+    attack_starts = {
+        "syn": flood.start_time,
+        "scan": scan.start_time,
+    }
+    for alert in detector.run(records):
+        det = alert.detection
+        rel = alert.time - t_start
+        latency = ""
+        if "syn" in det.kind:
+            latency = (
+                f"  [{alert.time - attack_starts['syn']:.1f}s after "
+                "flood onset]"
+            )
+        elif det.kind == "host_scan":
+            latency = (
+                f"  [{alert.time - attack_starts['scan']:.1f}s after "
+                "scan onset]"
+            )
+        print(
+            f"  t=+{rel:5.1f}s  {det.kind:<14} ({det.direction}) "
+            f"ip={det.ip}{latency}"
+        )
+    print(f"\nprocessed {detector.flows_processed} flows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — property-graph synthetic data generators for IDS benchmarking.
+
+A faithful, laptop-scale reproduction of *"A Comparison of Graph-Based
+Synthetic Data Generators for Benchmarking Next-Generation Intrusion
+Detection Systems"* (Iannucci et al., IEEE CLUSTER 2017): the PGPBA and
+PGSK generators, the Netflow/property-graph substrate they run on, the
+Map-Reduce engine that models their Spark deployment, and the Netflow
+anomaly-detection approach of Section IV.
+
+Quickstart::
+
+    from repro import build_seed, PGPBA, evaluate_veracity
+    from repro.trace import synthesize_seed_packets
+
+    seed = build_seed(synthesize_seed_packets(duration=20.0))
+    result = PGPBA(fraction=0.1).generate(
+        seed.graph, seed.analysis, desired_size=50_000
+    )
+    print(evaluate_veracity(seed.graph, result.graph))
+"""
+
+from repro.core import (
+    PGPBA,
+    PGSK,
+    GenerationResult,
+    SeedAnalysis,
+    SeedBundle,
+    analyze_seed,
+    build_seed,
+    degree_veracity,
+    evaluate_veracity,
+    pagerank_veracity,
+    veracity_score,
+)
+from repro.engine import ClusterContext
+from repro.graph import PropertyGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PGPBA",
+    "PGSK",
+    "GenerationResult",
+    "SeedAnalysis",
+    "SeedBundle",
+    "analyze_seed",
+    "build_seed",
+    "degree_veracity",
+    "evaluate_veracity",
+    "pagerank_veracity",
+    "veracity_score",
+    "ClusterContext",
+    "PropertyGraph",
+    "__version__",
+]

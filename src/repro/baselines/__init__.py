@@ -1,0 +1,34 @@
+"""Baseline graph generators from the paper's related-work survey (§II).
+
+The paper positions PGPBA and PGSK against the classic random-graph
+models: Erdős–Rényi, Watts–Strogatz, the stochastic block model, Chung–Lu,
+R-MAT and BTER.  Each baseline here generates a directed multigraph of a
+requested size and can decorate it with the same Netflow property model
+the core generators use — so veracity comparisons (see
+``benchmarks/bench_baselines_veracity.py``) isolate the *structural* model
+as the only difference.
+
+None of these preserve a seed's degree distribution as well as the
+scale-free generators do (ER and WS famously cannot produce hubs at all —
+the motivation §II recounts); the comparison bench demonstrates exactly
+that.
+"""
+
+from repro.baselines.base import BaselineGenerator, decorate_with_properties
+from repro.baselines.erdos_renyi import ErdosRenyi
+from repro.baselines.watts_strogatz import WattsStrogatz
+from repro.baselines.chung_lu import ChungLu
+from repro.baselines.rmat import RMat
+from repro.baselines.sbm import StochasticBlockModel
+from repro.baselines.bter import BTER
+
+__all__ = [
+    "BaselineGenerator",
+    "decorate_with_properties",
+    "ErdosRenyi",
+    "WattsStrogatz",
+    "ChungLu",
+    "RMat",
+    "StochasticBlockModel",
+    "BTER",
+]

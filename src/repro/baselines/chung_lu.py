@@ -1,0 +1,39 @@
+"""Chung–Lu: random graphs with a given expected degree sequence.
+
+Each directed edge picks its source proportionally to a target out-weight
+and its destination proportionally to a target in-weight, so the expected
+in/out degree of every vertex matches a prescribed sequence — "capable of
+generating networks from almost any real-world desired degree
+distribution" (§II).  The weights here are drawn from the *seed's*
+empirical in/out degree distributions, making CL the strongest classical
+baseline for degree veracity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineGenerator
+
+__all__ = ["ChungLu"]
+
+
+class ChungLu(BaselineGenerator):
+    """Directed Chung–Lu with seed-derived expected degrees."""
+
+    name = "CL"
+
+    def edges(self, n_vertices, n_edges, rng, analysis):
+        if analysis is None:
+            raise ValueError("Chung-Lu requires a seed analysis")
+        out_w = analysis.out_degree.sample(n_vertices, rng).astype(
+            np.float64
+        )
+        in_w = analysis.in_degree.sample(n_vertices, rng).astype(np.float64)
+        out_cdf = np.cumsum(out_w / out_w.sum())
+        in_cdf = np.cumsum(in_w / in_w.sum())
+        src = np.searchsorted(out_cdf, rng.random(n_edges), side="right")
+        dst = np.searchsorted(in_cdf, rng.random(n_edges), side="right")
+        src = np.clip(src, 0, n_vertices - 1)
+        dst = np.clip(dst, 0, n_vertices - 1)
+        return n_vertices, src, dst

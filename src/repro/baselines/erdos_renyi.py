@@ -1,0 +1,27 @@
+"""Erdős–Rényi G(n, m): edges drawn uniformly over ordered vertex pairs.
+
+The oldest random-graph model (§II).  Its binomial degree distribution has
+an exponentially decaying tail — "the probability of finding a highly
+connected vertex decreases exponentially with the degree" — which is
+exactly what disqualifies it as a network-trace generator and motivates
+the scale-free models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineGenerator
+
+__all__ = ["ErdosRenyi"]
+
+
+class ErdosRenyi(BaselineGenerator):
+    """Directed G(n, m) multigraph (pairs drawn with replacement)."""
+
+    name = "ER"
+
+    def edges(self, n_vertices, n_edges, rng, analysis):
+        src = rng.integers(0, n_vertices, size=n_edges)
+        dst = rng.integers(0, n_vertices, size=n_edges)
+        return n_vertices, src, dst

@@ -1,0 +1,41 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, precision: int = 4
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e5 or abs(v) < 1e-3:
+                return f"{v:.{precision}e}"
+            return f"{v:.{precision}g}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_series(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print one figure's series under a banner (what the harness emits)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,47 @@
+"""Core contribution: the PGPBA and PGSK property-graph generators.
+
+Workflow (mirroring the paper's Fig. 1-3):
+
+1. :func:`~repro.core.pipeline.build_seed` turns a pcap capture (or an
+   in-memory packet list) into a seed property-graph via the Netflow
+   pipeline, and :func:`~repro.core.pipeline.analyze_seed` extracts the
+   distributions the generators consume.
+2. :class:`~repro.core.pgpba.PGPBA` grows the seed by parallel edge-list
+   preferential attachment (Fig. 2).
+3. :class:`~repro.core.pgsk.PGSK` fits a Kronecker initiator to the seed
+   and expands it by stochastic recursive descent (Fig. 3).
+4. :mod:`~repro.core.veracity` scores how faithfully a synthetic graph
+   reproduces the seed's degree and PageRank distributions.
+"""
+
+from repro.core.generator import (
+    GenerationResult,
+    SeedAnalysis,
+    PropertyModel,
+)
+from repro.core.pipeline import SeedBundle, build_seed, analyze_seed
+from repro.core.pgpba import PGPBA
+from repro.core.pgsk import PGSK
+from repro.core.veracity import (
+    veracity_score,
+    degree_veracity,
+    pagerank_veracity,
+    VeracityReport,
+    evaluate_veracity,
+)
+
+__all__ = [
+    "GenerationResult",
+    "SeedAnalysis",
+    "PropertyModel",
+    "SeedBundle",
+    "build_seed",
+    "analyze_seed",
+    "PGPBA",
+    "PGSK",
+    "veracity_score",
+    "degree_veracity",
+    "pagerank_veracity",
+    "VeracityReport",
+    "evaluate_veracity",
+]

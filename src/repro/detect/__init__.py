@@ -1,0 +1,36 @@
+"""Netflow-based anomaly detection (Section IV of the paper).
+
+The detector leverages the graph-shaped structure of the data to aggregate
+flows by destination IP and by source IP ("destination based" and "source
+based" traffic pattern data, Fig. 4), compares the aggregates against the
+Table I threshold parameters, and flags DoS/DDoS flooding, host scanning,
+network scanning, TCP SYN floods, and ICMP/UDP/TCP bandwidth floods.
+
+Thresholds are network-specific; they can be calibrated from attack-free
+traffic quantiles (:meth:`DetectionThresholds.fit_normal`) or tuned with
+the Particle Swarm Optimizer in :mod:`repro.detect.pso`, as the paper
+suggests.
+"""
+
+from repro.detect.thresholds import DetectionThresholds
+from repro.detect.patterns import TrafficPatterns, build_traffic_patterns
+from repro.detect.detector import Detection, NetflowAnomalyDetector
+from repro.detect.report import DetectionReport, evaluate_detections
+from repro.detect.pso import ParticleSwarmOptimizer, tune_thresholds
+from repro.detect.offline import OfflineDetectionPipeline
+from repro.detect.online import OnlineDetector, TimedDetection
+
+__all__ = [
+    "DetectionThresholds",
+    "TrafficPatterns",
+    "build_traffic_patterns",
+    "Detection",
+    "NetflowAnomalyDetector",
+    "DetectionReport",
+    "evaluate_detections",
+    "ParticleSwarmOptimizer",
+    "tune_thresholds",
+    "OfflineDetectionPipeline",
+    "OnlineDetector",
+    "TimedDetection",
+]

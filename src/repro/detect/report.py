@@ -1,0 +1,99 @@
+"""Detection-quality evaluation against injected ground truth.
+
+A detection is a true positive when it names an IP involved in an attack
+of a compatible kind: destination-based detections must hit a victim,
+source-based ones an attacker.  Kind matching is lenient across flood
+flavours (a ``ddos_syn_flood`` attack detected as ``syn_flood`` still
+counts: the aggregation direction, not the label, is the hard part).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detect.detector import Detection
+from repro.trace.attacks import AttackGroundTruth
+
+__all__ = ["DetectionReport", "evaluate_detections"]
+
+# Attack kind -> detection kinds that count as a hit.
+_COMPATIBLE = {
+    "syn_flood": {"syn_flood", "ddos_syn_flood", "tcp_flood", "tcp_flood_source"},
+    "ddos_syn_flood": {"ddos_syn_flood", "syn_flood", "tcp_flood"},
+    "host_scan": {"host_scan"},
+    "network_scan": {"network_scan"},
+    "udp_flood": {"udp_flood", "udp_flood_source"},
+    "icmp_flood": {"icmp_flood", "icmp_flood_source"},
+    "tcp_flood": {"tcp_flood", "tcp_flood_source", "syn_flood"},
+}
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Precision / recall / F1 plus per-attack hit map."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    detected_attacks: tuple[str, ...]
+    missed_attacks: tuple[str, ...]
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _matches(det: Detection, attack: AttackGroundTruth) -> bool:
+    kinds = _COMPATIBLE.get(attack.kind, {attack.kind})
+    if det.kind not in kinds:
+        return False
+    if det.direction == "destination":
+        return det.ip in attack.victim_ips
+    return det.ip in attack.attacker_ips
+
+
+def evaluate_detections(
+    detections: list[Detection],
+    attacks: list[AttackGroundTruth],
+) -> DetectionReport:
+    """Score a detection run.
+
+    Each attack counts once: detected (>=1 matching detection) or missed.
+    Detections matching no attack are false positives.  Multiple matching
+    detections for the same attack are collapsed (they are corroboration,
+    not extra credit, and must not inflate precision).
+    """
+    matched_attack = [False] * len(attacks)
+    fp = 0
+    for det in detections:
+        hit = False
+        for idx, attack in enumerate(attacks):
+            if _matches(det, attack):
+                matched_attack[idx] = True
+                hit = True
+        if not hit:
+            fp += 1
+    tp = sum(matched_attack)
+    fn = len(attacks) - tp
+    return DetectionReport(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        detected_attacks=tuple(
+            a.kind for a, m in zip(attacks, matched_attack) if m
+        ),
+        missed_attacks=tuple(
+            a.kind for a, m in zip(attacks, matched_attack) if not m
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Accounting records for the simulated cluster.
+
+Every partition task contributes a :class:`TaskRecord` (measured CPU cost
+plus bytes produced); the scheduler folds records into per-node clocks and
+memory meters, and :class:`SimulationMetrics` exposes the aggregates the
+benchmarks read: simulated makespan, per-node peak memory, task counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TaskRecord", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed partition task."""
+
+    stage: str
+    partition: int
+    node: int
+    cpu_seconds: float
+    bytes_out: int
+
+
+@dataclass
+class SimulationMetrics:
+    """Mutable aggregate the context updates stage by stage."""
+
+    n_nodes: int
+    simulated_seconds: float = 0.0
+    platform_overhead_seconds: float = 0.0
+    tasks: list[TaskRecord] = field(default_factory=list)
+    node_busy_seconds: np.ndarray = None
+    node_resident_bytes: np.ndarray = None
+    node_peak_bytes: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.node_busy_seconds is None:
+            self.node_busy_seconds = np.zeros(self.n_nodes)
+        if self.node_resident_bytes is None:
+            self.node_resident_bytes = np.zeros(self.n_nodes, dtype=np.int64)
+        if self.node_peak_bytes is None:
+            self.node_peak_bytes = np.zeros(self.n_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def record_stage(
+        self,
+        records: list[TaskRecord],
+        stage_makespan: float,
+        overhead: float,
+    ) -> None:
+        self.tasks.extend(records)
+        self.simulated_seconds += stage_makespan + overhead
+        self.platform_overhead_seconds += overhead
+        for r in records:
+            self.node_busy_seconds[r.node] += r.cpu_seconds
+
+    def settle_memory(self, per_node_bytes: np.ndarray) -> None:
+        """Set the resident dataset bytes per node after a stage."""
+        per_node = np.asarray(per_node_bytes, dtype=np.int64)
+        if per_node.shape != (self.n_nodes,):
+            raise ValueError(
+                f"expected {self.n_nodes} per-node byte counts, got "
+                f"{per_node.shape}"
+            )
+        self.node_resident_bytes = per_node
+        self.node_peak_bytes = np.maximum(self.node_peak_bytes, per_node)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def peak_node_memory_bytes(self) -> int:
+        return int(self.node_peak_bytes.max(initial=0))
+
+    @property
+    def mean_node_memory_bytes(self) -> float:
+        return float(self.node_peak_bytes.mean()) if self.n_nodes else 0.0
+
+    def utilisation(self) -> float:
+        """Fraction of node-seconds spent computing (vs idle waves)."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        capacity = self.simulated_seconds * self.n_nodes
+        return float(self.node_busy_seconds.sum() / capacity)

@@ -1,0 +1,35 @@
+"""Directed property-multigraph substrate.
+
+The paper formalises a property-graph as ``G = (V, E, Dv, De)`` where ``E``
+is a *multi-set* of directed edges and ``Dv`` / ``De`` attach attribute
+records to vertices and edges.  :class:`~repro.graph.property_graph.PropertyGraph`
+realises that model with columnar NumPy storage — one int64 array per edge
+endpoint and one array per attribute — so a ten-million-edge graph is a
+handful of contiguous arrays rather than ten million Python objects.
+"""
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.analytics import (
+    degree_distribution,
+    in_degree_distribution,
+    out_degree_distribution,
+    weakly_connected_components,
+    global_clustering_coefficient,
+)
+from repro.graph.pagerank import pagerank
+from repro.graph.centrality import approximate_betweenness
+from repro.graph import io
+
+__all__ = [
+    "PropertyGraph",
+    "GraphBuilder",
+    "degree_distribution",
+    "in_degree_distribution",
+    "out_degree_distribution",
+    "weakly_connected_components",
+    "global_clustering_coefficient",
+    "pagerank",
+    "approximate_betweenness",
+    "io",
+]

@@ -1,0 +1,76 @@
+"""PageRank by sparse power iteration.
+
+The veracity evaluation (Fig. 7 of the paper) compares the seed's and the
+synthetic graph's PageRank distributions.  One iteration is a single sparse
+transposed mat-vec plus dangling-mass redistribution; convergence is checked
+in L1 as in the original formulation (Page et al., 1999).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["pagerank", "pagerank_distribution"]
+
+
+def pagerank(
+    graph: PropertyGraph,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    weighted: bool = True,
+) -> np.ndarray:
+    """PageRank vector of every vertex (sums to 1).
+
+    Parameters
+    ----------
+    damping:
+        Teleportation damping factor, 0 < damping < 1.
+    tol:
+        L1 convergence threshold between sweeps.
+    weighted:
+        When True, parallel edges contribute multiplicity-proportional
+        transition weight — matching the property-graph multi-set semantics.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must lie in (0, 1)")
+    n = graph.n_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    if graph.n_edges == 0:
+        return np.full(n, 1.0 / n)
+
+    from scipy import sparse
+
+    adj = graph.to_sparse_adjacency(weighted=weighted)  # row = src
+    out_weight = np.asarray(adj.sum(axis=1)).ravel()
+    dangling = out_weight == 0
+    inv_out = np.zeros(n, dtype=np.float64)
+    inv_out[~dangling] = 1.0 / out_weight[~dangling]
+    # Row-normalised transition matrix P; we iterate r <- r P.
+    trans = sparse.diags(inv_out) @ adj
+    trans = trans.T.tocsr()  # so each sweep is one csr mat-vec: trans @ r
+
+    r = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        dangling_mass = r[dangling].sum()
+        new_r = damping * (trans @ r) + damping * dangling_mass / n + teleport
+        err = np.abs(new_r - r).sum()
+        r = new_r
+        if err < tol:
+            break
+    # Normalise away accumulated float drift.
+    r /= r.sum()
+    return r
+
+
+def pagerank_distribution(
+    graph: PropertyGraph, **kwargs
+) -> np.ndarray:
+    """Convenience wrapper returning the raw PageRank sample vector used by
+    the veracity scoring (one value per vertex)."""
+    return pagerank(graph, **kwargs)

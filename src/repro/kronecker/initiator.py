@@ -1,0 +1,101 @@
+"""Stochastic Kronecker initiator matrices.
+
+An initiator ``Theta`` is an ``N x N`` matrix of probabilities; the k-th
+Kronecker power ``Theta^[k]`` assigns every vertex pair ``(u, v)`` of an
+``N^k``-vertex graph the edge probability ``prod_l Theta[u_l, v_l]`` where
+``u_l, v_l`` are the base-N digits of ``u`` and ``v``.  The expected edge
+count after k levels is ``(sum Theta)^k`` — the quantity PGSK uses to pick
+how many levels to descend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InitiatorMatrix"]
+
+
+@dataclass(frozen=True)
+class InitiatorMatrix:
+    """A validated stochastic initiator.
+
+    ``theta[i, j]`` is the probability weight of descending into cell
+    ``(i, j)``; entries must lie in ``(0, 1]``-ish open bounds to keep the
+    KronFit likelihood finite, and the classic fitted values (e.g. the
+    ubiquitous ``[[0.9, 0.5], [0.5, 0.1]]``) satisfy them.
+    """
+
+    theta: np.ndarray
+
+    def __post_init__(self) -> None:
+        theta = np.ascontiguousarray(self.theta, dtype=np.float64)
+        if theta.ndim != 2 or theta.shape[0] != theta.shape[1]:
+            raise ValueError(f"initiator must be square, got {theta.shape}")
+        if theta.shape[0] < 2:
+            raise ValueError("initiator must be at least 2x2")
+        if np.any(theta <= 0.0) or np.any(theta > 1.0):
+            raise ValueError("initiator entries must lie in (0, 1]")
+        object.__setattr__(self, "theta", theta)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def classic(cls) -> "InitiatorMatrix":
+        """The canonical 2x2 core-periphery initiator from the literature."""
+        return cls(np.asarray([[0.9, 0.5], [0.5, 0.1]]))
+
+    @property
+    def size(self) -> int:
+        return int(self.theta.shape[0])
+
+    @property
+    def edge_weight_sum(self) -> float:
+        """``sum(Theta)`` — expected edges of a single level."""
+        return float(self.theta.sum())
+
+    def expected_edges(self, k: int) -> float:
+        """Expected edge count of the k-th Kronecker power realisation."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self.edge_weight_sum ** k
+
+    def n_vertices(self, k: int) -> int:
+        """Vertex count after k levels: N^k."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self.size ** k
+
+    def levels_for_edges(self, desired_edges: int) -> int:
+        """Smallest k whose expected edge count reaches ``desired_edges``.
+
+        This is how PGSK translates the ``desired_size`` input into a
+        recursion depth — and why its output size grows exponentially in
+        iterations (the paper notes PGSK "doubles the size of the graph at
+        each iteration" for the classic 2x2 fit).
+        """
+        if desired_edges < 1:
+            raise ValueError("desired_edges must be >= 1")
+        s = self.edge_weight_sum
+        if s <= 1.0:
+            raise ValueError(
+                "initiator with sum(theta) <= 1 cannot grow the graph"
+            )
+        k = int(np.ceil(np.log(desired_edges) / np.log(s)))
+        return max(k, 1)
+
+    def descent_probabilities(self) -> np.ndarray:
+        """Flattened cell distribution used by recursive descent."""
+        flat = self.theta.ravel()
+        return flat / flat.sum()
+
+    def normalized_to_sum(self, target_sum: float) -> "InitiatorMatrix":
+        """Rescale entries so ``sum(Theta) == target_sum`` (clipped to 1).
+
+        Useful when an externally fitted shape should be re-anchored to a
+        desired expected growth rate.
+        """
+        if target_sum <= 0:
+            raise ValueError("target_sum must be positive")
+        scaled = self.theta * (target_sum / self.theta.sum())
+        return InitiatorMatrix(np.clip(scaled, 1e-9, 1.0))

@@ -1,0 +1,32 @@
+"""Netflow substrate.
+
+The paper maps Netflow data onto property-graphs: hosts become vertices,
+TCP connections / UDP streams become edges carrying nine attributes
+(PROTOCOL, SRC_PORT, DEST_PORT, DURATION, OUT_BYTES, IN_BYTES, OUT_PKTS,
+IN_PKTS, STATE).  In the original system Bro IDS performed the packet→flow
+conversion; :class:`~repro.netflow.flow_assembler.FlowAssembler` is our
+from-scratch equivalent, including a TCP connection state machine producing
+Bro-style connection states.
+"""
+
+from repro.netflow.attributes import (
+    Protocol,
+    TcpState,
+    NETFLOW_EDGE_ATTRIBUTES,
+)
+from repro.netflow.record import NetflowRecord, FlowTable
+from repro.netflow.flow_assembler import FlowAssembler, assemble_flows
+from repro.netflow.mapping import flow_table_to_property_graph
+from repro.netflow import codec
+
+__all__ = [
+    "Protocol",
+    "TcpState",
+    "NETFLOW_EDGE_ATTRIBUTES",
+    "NetflowRecord",
+    "FlowTable",
+    "FlowAssembler",
+    "assemble_flows",
+    "flow_table_to_property_graph",
+    "codec",
+]

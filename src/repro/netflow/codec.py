@@ -1,0 +1,97 @@
+"""Flow-table interchange: CSV text and binary Netflow-v5-style records.
+
+CSV is the human-auditable format used by examples and tests; the binary
+codec packs each flow into a fixed 64-byte record (inspired by Netflow v5
+export datagrams) for compact storage of large tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.netflow.record import FlowTable
+
+__all__ = ["write_csv", "read_csv", "write_binary", "read_binary"]
+
+_CSV_HEADER = ",".join(FlowTable.COLUMN_NAMES)
+
+# One flow = 14 fields; floats for START_TIME/DURATION, int64 elsewhere.
+_BIN_MAGIC = b"RNF1"
+_BIN_FMT = "<5q2d7q"  # SRC_IP DST_IP PROTOCOL SRC_PORT DEST_PORT | START DUR | rest
+_BIN_RECORD_LEN = struct.calcsize(_BIN_FMT)
+_BIN_ORDER = (
+    "SRC_IP", "DST_IP", "PROTOCOL", "SRC_PORT", "DEST_PORT",
+    "START_TIME", "DURATION",
+    "OUT_BYTES", "IN_BYTES", "OUT_PKTS", "IN_PKTS", "STATE",
+    "SYN_COUNT", "ACK_COUNT",
+)
+
+
+def write_csv(table: FlowTable, path) -> None:
+    """Write the table with a header row; floats keep full precision."""
+    path = Path(path)
+    cols = [table[name] for name in FlowTable.COLUMN_NAMES]
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(_CSV_HEADER + "\n")
+        if len(table) == 0:
+            return
+        stacked = np.stack([c.astype(str) for c in cols], axis=1)
+        fh.write("\n".join(",".join(row) for row in stacked))
+        fh.write("\n")
+
+
+def read_csv(path) -> FlowTable:
+    """Read a file produced by :func:`write_csv`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().strip()
+        if header != _CSV_HEADER:
+            raise ValueError(f"unexpected flow CSV header in {path}")
+        body = fh.read()
+    if not body.strip():
+        return FlowTable.empty()
+    raw = np.genfromtxt(
+        body.strip().splitlines(), delimiter=",", dtype=np.float64, ndmin=2
+    )
+    if raw.shape[1] != len(FlowTable.COLUMN_NAMES):
+        raise ValueError("flow CSV column count mismatch")
+    cols = {
+        name: raw[:, j] for j, name in enumerate(FlowTable.COLUMN_NAMES)
+    }
+    return FlowTable(cols)
+
+
+def write_binary(table: FlowTable, path) -> None:
+    """Pack the table into fixed-width binary records."""
+    path = Path(path)
+    arrays = [table[name] for name in _BIN_ORDER]
+    with path.open("wb") as fh:
+        fh.write(_BIN_MAGIC)
+        fh.write(struct.pack("<q", len(table)))
+        packer = struct.Struct(_BIN_FMT)
+        for i in range(len(table)):
+            fh.write(packer.pack(*(a[i] for a in arrays)))
+
+
+def read_binary(path) -> FlowTable:
+    """Inverse of :func:`write_binary`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if data[:4] != _BIN_MAGIC:
+        raise ValueError(f"{path} is not a repro binary flow file")
+    (count,) = struct.unpack_from("<q", data, 4)
+    expected = 12 + count * _BIN_RECORD_LEN
+    if len(data) < expected:
+        raise ValueError("truncated binary flow file")
+    cols: dict[str, list] = {name: [] for name in _BIN_ORDER}
+    packer = struct.Struct(_BIN_FMT)
+    offset = 12
+    for _ in range(count):
+        fields = packer.unpack_from(data, offset)
+        offset += _BIN_RECORD_LEN
+        for name, value in zip(_BIN_ORDER, fields):
+            cols[name].append(value)
+    return FlowTable({name: np.asarray(vals) for name, vals in cols.items()})

@@ -1,0 +1,232 @@
+"""Ethernet / IPv4 / TCP / UDP / ICMP packet construction and parsing.
+
+Only the fields the Netflow mapping needs are modelled: addresses, ports,
+protocol, TCP flags, and payload length.  Builders emit byte-exact wire
+format (including a valid IPv4 header checksum); the parser tolerates
+trailing padding and unknown transport protocols (returned with
+``transport=None`` so flow assembly can skip them).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntFlag
+
+__all__ = [
+    "TcpFlags",
+    "ParsedPacket",
+    "ipv4_checksum",
+    "build_ethernet_ipv4_packet",
+    "parse_ethernet_ipv4_packet",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETHERTYPE_IPV4 = 0x0800
+_ETH_HEADER_LEN = 14
+_IPV4_MIN_HEADER_LEN = 20
+_TCP_MIN_HEADER_LEN = 20
+_UDP_HEADER_LEN = 8
+_ICMP_HEADER_LEN = 8
+
+
+class TcpFlags(IntFlag):
+    """TCP control flags (subset; CWR/ECE omitted — unused by the model)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass(frozen=True)
+class ParsedPacket:
+    """Decoded view of one Ethernet/IPv4 frame.
+
+    ``transport`` is one of ``PROTO_TCP``, ``PROTO_UDP``, ``PROTO_ICMP`` or
+    ``None`` for anything the model does not understand.  ``payload_len``
+    is the transport payload (L4 data) in bytes — the quantity Netflow's
+    byte counters aggregate.
+    """
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    transport: int | None
+    src_port: int
+    dst_port: int
+    tcp_flags: TcpFlags
+    payload_len: int
+    total_len: int
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.transport == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.transport == PROTO_UDP
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.transport == PROTO_ICMP
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """RFC 791 ones-complement checksum over the IPv4 header bytes."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", header):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _mac_bytes(value: int) -> bytes:
+    return value.to_bytes(6, "big")
+
+
+def build_ethernet_ipv4_packet(
+    *,
+    src_ip: int,
+    dst_ip: int,
+    protocol: int,
+    src_port: int = 0,
+    dst_port: int = 0,
+    tcp_flags: TcpFlags = TcpFlags(0),
+    payload_len: int = 0,
+    seq: int = 0,
+    ack: int = 0,
+    ttl: int = 64,
+    src_mac: int = 0x020000000001,
+    dst_mac: int = 0x020000000002,
+) -> bytes:
+    """Serialise one frame.  The payload is zero-filled — only its *length*
+    matters to Netflow accounting — which keeps synthetic traces cheap."""
+    if payload_len < 0:
+        raise ValueError("payload_len must be non-negative")
+    if not 0 <= src_port <= 0xFFFF or not 0 <= dst_port <= 0xFFFF:
+        raise ValueError("ports must fit in 16 bits")
+
+    if protocol == PROTO_TCP:
+        l4 = struct.pack(
+            "!HHIIBBHHH",
+            src_port,
+            dst_port,
+            seq & 0xFFFFFFFF,
+            ack & 0xFFFFFFFF,
+            (_TCP_MIN_HEADER_LEN // 4) << 4,
+            int(tcp_flags),
+            65535,  # window
+            0,  # checksum (not validated by the model)
+            0,  # urgent pointer
+        ) + bytes(payload_len)
+    elif protocol == PROTO_UDP:
+        l4 = struct.pack(
+            "!HHHH",
+            src_port,
+            dst_port,
+            _UDP_HEADER_LEN + payload_len,
+            0,
+        ) + bytes(payload_len)
+    elif protocol == PROTO_ICMP:
+        # Echo request (type 8) with id/seq packed from the port fields so
+        # round-tripping preserves them for flow keying.
+        l4 = struct.pack(
+            "!BBHHH", 8, 0, 0, src_port, dst_port
+        ) + bytes(payload_len)
+    else:
+        l4 = bytes(payload_len)
+
+    total_len = _IPV4_MIN_HEADER_LEN + len(l4)
+    ip_wo_checksum = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | (_IPV4_MIN_HEADER_LEN // 4),
+        0,  # DSCP/ECN
+        total_len,
+        0,  # identification
+        0,  # flags/fragment offset
+        ttl,
+        protocol,
+        0,  # checksum placeholder
+        (src_ip & 0xFFFFFFFF).to_bytes(4, "big"),
+        (dst_ip & 0xFFFFFFFF).to_bytes(4, "big"),
+    )
+    checksum = ipv4_checksum(ip_wo_checksum)
+    ip = ip_wo_checksum[:10] + struct.pack("!H", checksum) + ip_wo_checksum[12:]
+
+    eth = _mac_bytes(dst_mac) + _mac_bytes(src_mac) + struct.pack(
+        "!H", _ETHERTYPE_IPV4
+    )
+    return eth + ip + l4
+
+
+def parse_ethernet_ipv4_packet(
+    data: bytes, timestamp: float = 0.0
+) -> ParsedPacket | None:
+    """Decode one frame; returns None for non-IPv4 ethertypes.
+
+    Frames with an IPv4 payload but an unmodelled transport protocol are
+    returned with ``transport=None`` rather than dropped, so callers can
+    still count them.
+    """
+    if len(data) < _ETH_HEADER_LEN + _IPV4_MIN_HEADER_LEN:
+        return None
+    (ethertype,) = struct.unpack("!H", data[12:14])
+    if ethertype != _ETHERTYPE_IPV4:
+        return None
+    ip = data[_ETH_HEADER_LEN:]
+    version_ihl = ip[0]
+    if version_ihl >> 4 != 4:
+        return None
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < _IPV4_MIN_HEADER_LEN or len(ip) < ihl:
+        return None
+    total_len = struct.unpack("!H", ip[2:4])[0]
+    protocol = ip[9]
+    src_ip = int.from_bytes(ip[12:16], "big")
+    dst_ip = int.from_bytes(ip[16:20], "big")
+    l4 = ip[ihl:total_len] if total_len >= ihl else b""
+
+    src_port = dst_port = 0
+    flags = TcpFlags(0)
+    transport: int | None = None
+    payload_len = 0
+
+    if protocol == PROTO_TCP and len(l4) >= _TCP_MIN_HEADER_LEN:
+        transport = PROTO_TCP
+        src_port, dst_port = struct.unpack("!HH", l4[:4])
+        data_offset = (l4[12] >> 4) * 4
+        flags = TcpFlags(l4[13])
+        payload_len = max(0, len(l4) - data_offset)
+    elif protocol == PROTO_UDP and len(l4) >= _UDP_HEADER_LEN:
+        transport = PROTO_UDP
+        src_port, dst_port, udp_len, _ = struct.unpack("!HHHH", l4[:8])
+        payload_len = max(0, udp_len - _UDP_HEADER_LEN)
+    elif protocol == PROTO_ICMP and len(l4) >= _ICMP_HEADER_LEN:
+        transport = PROTO_ICMP
+        # id/seq round-trip the synthetic port fields.
+        _, _, _, src_port, dst_port = struct.unpack("!BBHHH", l4[:8])
+        payload_len = max(0, len(l4) - _ICMP_HEADER_LEN)
+
+    return ParsedPacket(
+        timestamp=timestamp,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        transport=transport,
+        src_port=src_port,
+        dst_port=dst_port,
+        tcp_flags=flags,
+        payload_len=payload_len,
+        total_len=total_len,
+    )

@@ -1,0 +1,74 @@
+"""Streaming pcap reader.
+
+Reads the global header once, then yields ``(PcapRecordHeader, bytes)``
+pairs without ever loading the whole capture into memory — traces are
+processed packet-at-a-time by the flow assembler.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.pcap.format import (
+    GLOBAL_HEADER_LEN,
+    RECORD_HEADER_LEN,
+    PcapGlobalHeader,
+    PcapRecordHeader,
+)
+from repro.pcap.packet import ParsedPacket, parse_ethernet_ipv4_packet
+
+__all__ = ["PcapReader", "read_pcap"]
+
+
+class PcapReader:
+    """Context-manager over a pcap file.
+
+    Iterating yields raw ``(record_header, packet_bytes)``;
+    :meth:`parsed_packets` additionally decodes Ethernet/IPv4 frames.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+        self._fh = None
+        self.header: PcapGlobalHeader | None = None
+        self._endian = "<"
+
+    def __enter__(self) -> "PcapReader":
+        self._fh = self._path.open("rb")
+        raw = self._fh.read(GLOBAL_HEADER_LEN)
+        self.header, self._endian = PcapGlobalHeader.unpack(raw)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __iter__(self) -> Iterator[tuple[PcapRecordHeader, bytes]]:
+        if self._fh is None:
+            raise RuntimeError("PcapReader must be used as a context manager")
+        while True:
+            raw = self._fh.read(RECORD_HEADER_LEN)
+            if not raw:
+                return
+            if len(raw) < RECORD_HEADER_LEN:
+                raise ValueError("truncated pcap record header at EOF")
+            rec = PcapRecordHeader.unpack(raw, self._endian)
+            data = self._fh.read(rec.incl_len)
+            if len(data) < rec.incl_len:
+                raise ValueError("truncated pcap packet body at EOF")
+            yield rec, data
+
+    def parsed_packets(self) -> Iterator[ParsedPacket]:
+        """Yield decoded IPv4 packets, silently skipping non-IPv4 frames."""
+        for rec, data in self:
+            pkt = parse_ethernet_ipv4_packet(data, timestamp=rec.timestamp)
+            if pkt is not None:
+                yield pkt
+
+
+def read_pcap(path) -> list[ParsedPacket]:
+    """Eagerly read and decode an entire capture (convenience for tests)."""
+    with PcapReader(path) as reader:
+        return list(reader.parsed_packets())

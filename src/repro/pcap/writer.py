@@ -1,0 +1,59 @@
+"""Streaming pcap writer (native little-endian, microsecond timestamps)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.pcap.format import PcapGlobalHeader, PcapRecordHeader
+
+__all__ = ["PcapWriter", "write_pcap"]
+
+
+class PcapWriter:
+    """Context-manager that appends timestamped packets to a capture file.
+
+    Timestamps must be non-decreasing; real captures are time-ordered and
+    the flow assembler relies on it for timeout-based flow expiry.
+    """
+
+    def __init__(self, path, *, snaplen: int = 65535) -> None:
+        self._path = Path(path)
+        self._snaplen = snaplen
+        self._fh = None
+        self._last_ts = float("-inf")
+        self.packets_written = 0
+
+    def __enter__(self) -> "PcapWriter":
+        self._fh = self._path.open("wb")
+        self._fh.write(PcapGlobalHeader(snaplen=self._snaplen).pack())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def write_packet(self, timestamp: float, data: bytes) -> None:
+        if self._fh is None:
+            raise RuntimeError("PcapWriter must be used as a context manager")
+        if timestamp < self._last_ts:
+            raise ValueError(
+                f"out-of-order packet: {timestamp} after {self._last_ts}"
+            )
+        self._last_ts = timestamp
+        incl = min(len(data), self._snaplen)
+        rec = PcapRecordHeader.from_timestamp(
+            timestamp, incl_len=incl, orig_len=len(data)
+        )
+        self._fh.write(rec.pack())
+        self._fh.write(data[:incl])
+        self.packets_written += 1
+
+
+def write_pcap(path, packets: Iterable[tuple[float, bytes]]) -> int:
+    """Write ``(timestamp, frame_bytes)`` pairs; returns the packet count."""
+    with PcapWriter(path) as writer:
+        for ts, data in packets:
+            writer.write_packet(ts, data)
+        return writer.packets_written

@@ -1,0 +1,53 @@
+"""Edge-level queries: attribute-filtered flow selection.
+
+An :class:`EdgeFilter` is a conjunction of per-attribute predicates over
+the Netflow edge columns — the property-graph equivalent of a Netflow
+query like "all TCP flows to port 445 in state S0 moving fewer than 100
+bytes" (a scan signature).  Evaluation is one boolean mask pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["EdgeFilter", "filter_edges"]
+
+
+@dataclass(frozen=True)
+class EdgeFilter:
+    """Conjunctive predicate over edge attributes.
+
+    ``equals`` pins attributes to exact values; ``ranges`` bounds them with
+    inclusive ``(low, high)`` intervals (either side may be None).
+    """
+
+    equals: dict = field(default_factory=dict)
+    ranges: dict = field(default_factory=dict)
+
+    def mask(self, graph: PropertyGraph) -> np.ndarray:
+        """Boolean edge mask; raises on unknown attributes."""
+        out = np.ones(graph.n_edges, dtype=bool)
+        for name, value in self.equals.items():
+            col = graph.edge_properties.get(name)
+            if col is None:
+                raise KeyError(f"edge attribute {name!r} not present")
+            out &= np.asarray(col) == value
+        for name, (low, high) in self.ranges.items():
+            col = graph.edge_properties.get(name)
+            if col is None:
+                raise KeyError(f"edge attribute {name!r} not present")
+            col = np.asarray(col)
+            if low is not None:
+                out &= col >= low
+            if high is not None:
+                out &= col <= high
+        return out
+
+
+def filter_edges(graph: PropertyGraph, flt: EdgeFilter) -> PropertyGraph:
+    """Sub-multigraph of the edges matching ``flt`` (vertices preserved)."""
+    return graph.select_edges(flt.mask(graph))

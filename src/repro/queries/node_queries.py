@@ -1,0 +1,69 @@
+"""Node-level queries: lookups, rankings, neighbourhoods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["vertex_by_host_id", "degree_top_k", "neighbors"]
+
+
+def vertex_by_host_id(graph: PropertyGraph, host_id: int) -> int | None:
+    """Vertex index of the host with vertex-property ``ID == host_id``.
+
+    Binary search over the sorted ID column (the mapping stage stores hosts
+    sorted); returns None when the host is unknown.
+    """
+    ids = graph.vertex_properties.get("ID")
+    if ids is None:
+        # Generated graphs use vertex indices as identities.
+        return int(host_id) if 0 <= host_id < graph.n_vertices else None
+    ids = np.asarray(ids)
+    pos = int(np.searchsorted(ids, host_id))
+    if pos < ids.size and ids[pos] == host_id:
+        return pos
+    return None
+
+
+def degree_top_k(
+    graph: PropertyGraph, k: int, *, kind: str = "total"
+) -> np.ndarray:
+    """Vertex indices of the k highest-degree hosts (busiest talkers).
+
+    ``kind`` selects ``"in"`` (popular services), ``"out"`` (chatty
+    clients) or ``"total"``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if kind == "in":
+        deg = graph.in_degrees()
+    elif kind == "out":
+        deg = graph.out_degrees()
+    elif kind == "total":
+        deg = graph.degrees()
+    else:
+        raise ValueError(f"unknown degree kind {kind!r}")
+    k = min(k, graph.n_vertices)
+    top = np.argpartition(deg, -k)[-k:]
+    return top[np.argsort(-deg[top], kind="stable")]
+
+
+def neighbors(
+    graph: PropertyGraph, vertex: int, *, direction: str = "out"
+) -> np.ndarray:
+    """Distinct neighbour vertices of ``vertex``.
+
+    ``direction``: "out" (hosts this one contacted), "in" (hosts that
+    contacted it), or "both".
+    """
+    if not 0 <= vertex < graph.n_vertices:
+        raise ValueError(f"vertex {vertex} out of range")
+    parts = []
+    if direction in ("out", "both"):
+        parts.append(graph.dst[graph.src == vertex])
+    if direction in ("in", "both"):
+        parts.append(graph.src[graph.dst == vertex])
+    if not parts:
+        raise ValueError(f"unknown direction {direction!r}")
+    return np.unique(np.concatenate(parts))

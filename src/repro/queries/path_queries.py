@@ -1,0 +1,99 @@
+"""Path queries: reachability and shortest paths (lateral-movement analysis).
+
+All traversals are frontier-at-a-time BFS over the CSR adjacency — one
+sparse row-gather per level, no per-vertex Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["k_hop_neighborhood", "shortest_path_length", "reachable_within"]
+
+
+def _csr(graph: PropertyGraph):
+    adj = graph.simple_graph().to_sparse_adjacency(weighted=False)
+    return adj.indptr, adj.indices
+
+
+def _expand(indptr, indices, frontier: np.ndarray) -> np.ndarray:
+    if frontier.size == 0:
+        return frontier
+    starts = indptr[frontier]
+    stops = indptr[frontier + 1]
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    offsets = np.repeat(starts, counts)
+    within = np.arange(total) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts[:-1]))), counts
+    )
+    return indices[offsets + within]
+
+
+def k_hop_neighborhood(
+    graph: PropertyGraph, source: int, k: int
+) -> np.ndarray:
+    """All vertices within ``k`` directed hops of ``source`` (inclusive).
+
+    The blast-radius query: which hosts could an attacker on ``source``
+    reach in at most k connection steps?
+    """
+    if not 0 <= source < graph.n_vertices:
+        raise ValueError(f"source {source} out of range")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    indptr, indices = _csr(graph)
+    seen = np.zeros(graph.n_vertices, dtype=bool)
+    seen[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    for _ in range(k):
+        nxt = _expand(indptr, indices, frontier)
+        nxt = np.unique(nxt[~seen[nxt]])
+        if nxt.size == 0:
+            break
+        seen[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(seen)
+
+
+def shortest_path_length(
+    graph: PropertyGraph, source: int, target: int
+) -> int | None:
+    """Directed hop distance from ``source`` to ``target``; None if
+    unreachable."""
+    if not 0 <= source < graph.n_vertices:
+        raise ValueError(f"source {source} out of range")
+    if not 0 <= target < graph.n_vertices:
+        raise ValueError(f"target {target} out of range")
+    if source == target:
+        return 0
+    indptr, indices = _csr(graph)
+    seen = np.zeros(graph.n_vertices, dtype=bool)
+    seen[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    dist = 0
+    while frontier.size:
+        dist += 1
+        nxt = _expand(indptr, indices, frontier)
+        nxt = np.unique(nxt[~seen[nxt]])
+        if nxt.size == 0:
+            return None
+        if seen[target] or target in nxt:
+            return dist
+        seen[nxt] = True
+        frontier = nxt
+    return None
+
+
+def reachable_within(
+    graph: PropertyGraph, source: int, max_hops: int | None = None
+) -> np.ndarray:
+    """Boolean reachability vector from ``source`` (optionally bounded)."""
+    hops = max_hops if max_hops is not None else graph.n_vertices
+    reached = np.zeros(graph.n_vertices, dtype=bool)
+    reached[k_hop_neighborhood(graph, source, hops)] = True
+    return reached

@@ -1,0 +1,120 @@
+"""Composable query workload runner.
+
+A :class:`QueryWorkload` runs a configurable mix of the four query
+families against a property graph, timing each family — the measurement an
+IDS benchmark performs on a system under test once a dataset has been
+generated.  Query targets (hosts, filters) are drawn deterministically
+from a seeded RNG so runs are repeatable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+from repro.netflow.attributes import Protocol
+from repro.queries.edge_queries import EdgeFilter, filter_edges
+from repro.queries.node_queries import degree_top_k, neighbors
+from repro.queries.path_queries import k_hop_neighborhood
+from repro.queries.subgraph_queries import (
+    fan_in_motif,
+    fan_out_motif,
+    host_pair_aggregate,
+)
+
+__all__ = ["QueryWorkload", "WorkloadReport"]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Per-family timing of one workload run."""
+
+    n_edges: int
+    queries_per_family: int
+    seconds_by_family: dict
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds_by_family.values()))
+
+    def queries_per_second(self) -> dict:
+        return {
+            family: (
+                self.queries_per_family / secs if secs > 0 else float("inf")
+            )
+            for family, secs in self.seconds_by_family.items()
+        }
+
+
+class QueryWorkload:
+    """A deterministic mixed query workload.
+
+    Parameters
+    ----------
+    n_queries:
+        Queries issued per family.
+    k_hops:
+        Depth of the path queries.
+    seed:
+        RNG seed for target selection.
+    """
+
+    def __init__(
+        self, *, n_queries: int = 20, k_hops: int = 2, seed: int = 0
+    ) -> None:
+        if n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        if k_hops < 0:
+            raise ValueError("k_hops must be non-negative")
+        self.n_queries = n_queries
+        self.k_hops = k_hops
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self, graph: PropertyGraph) -> WorkloadReport:
+        """Execute all four families and report per-family time."""
+        if graph.n_vertices == 0 or graph.n_edges == 0:
+            raise ValueError("workload needs a non-empty graph")
+        rng = np.random.default_rng(self.seed)
+        targets = rng.integers(0, graph.n_vertices, size=self.n_queries)
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        for v in targets:
+            neighbors(graph, int(v), direction="both")
+        degree_top_k(graph, 10)
+        timings["node"] = time.perf_counter() - t0
+
+        has_props = "PROTOCOL" in graph.edge_properties
+        t0 = time.perf_counter()
+        if has_props:
+            ports = rng.choice([22, 53, 80, 443], size=self.n_queries)
+            for port in ports:
+                flt = EdgeFilter(
+                    equals={"PROTOCOL": int(Protocol.TCP),
+                            "DEST_PORT": int(port)},
+                    ranges={"OUT_BYTES": (1, None)},
+                )
+                filter_edges(graph, flt)
+        timings["edge"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for v in targets:
+            k_hop_neighborhood(graph, int(v), self.k_hops)
+        timings["path"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fan_out_motif(graph, 10)
+        fan_in_motif(graph, 10)
+        if has_props:
+            host_pair_aggregate(graph)
+        timings["subgraph"] = time.perf_counter() - t0
+
+        return WorkloadReport(
+            n_edges=graph.n_edges,
+            queries_per_family=self.n_queries,
+            seconds_by_family=timings,
+        )

@@ -1,0 +1,29 @@
+"""Statistical substrate: empirical distributions, power laws, conditionals.
+
+The generators in :mod:`repro.core` never look at the seed trace directly;
+they consume the *empirical distributions* extracted from it (in/out degree,
+Netflow attribute histograms, conditional attribute distributions).  This
+package provides those distribution objects together with fast vectorised
+samplers built on inverse-CDF lookup (``np.searchsorted``), a maximum
+likelihood power-law fitter, and quantile-binned conditional distributions.
+"""
+
+from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.powerlaw import PowerLawFit, fit_power_law, sample_power_law
+from repro.stats.conditional import ConditionalDistribution
+from repro.stats.histogram import (
+    normalized_distribution,
+    log_binned_histogram,
+    aligned_euclidean_distance,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "PowerLawFit",
+    "fit_power_law",
+    "sample_power_law",
+    "ConditionalDistribution",
+    "normalized_distribution",
+    "log_binned_histogram",
+    "aligned_euclidean_distance",
+]

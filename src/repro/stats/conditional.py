@@ -1,0 +1,120 @@
+"""Quantile-binned conditional distributions.
+
+The seed analysis step (Fig. 1) computes the unconditional distribution of
+``IN_BYTES`` and then, for every other Netflow attribute ``a``, the
+conditional distribution ``p(a | IN_BYTES)``.  A flow that moved many bytes
+should also report many packets and a long duration; conditioning preserves
+these couplings in the synthetic attributes.
+
+:class:`ConditionalDistribution` bins the conditioning variable into
+(approximate) quantile bins and stores one :class:`EmpiricalDistribution`
+per bin.  Sampling takes a vector of conditioning values and returns a
+matching vector of attribute draws, grouped by bin so each bin samples once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = ["ConditionalDistribution"]
+
+
+@dataclass(frozen=True)
+class ConditionalDistribution:
+    """``p(target | conditioner)`` with a quantile-binned conditioner.
+
+    Attributes
+    ----------
+    bin_edges:
+        Increasing edges of the conditioner bins; value v falls into bin
+        ``searchsorted(bin_edges, v, 'right') - 1`` clamped to range.
+    bin_distributions:
+        One empirical distribution of the target per bin.
+    """
+
+    bin_edges: np.ndarray
+    bin_distributions: tuple[EmpiricalDistribution, ...]
+
+    @classmethod
+    def fit(
+        cls,
+        conditioner: np.ndarray,
+        target: np.ndarray,
+        *,
+        n_bins: int = 16,
+        min_bin_count: int = 4,
+    ) -> "ConditionalDistribution":
+        """Estimate ``p(target | conditioner)`` from paired observations.
+
+        Bins are quantiles of the conditioner so every bin holds comparable
+        mass even for heavy-tailed conditioners.  Bins that end up with fewer
+        than ``min_bin_count`` observations inherit the *global* target
+        distribution to avoid degenerate point masses.
+        """
+        conditioner = np.asarray(conditioner)
+        target = np.asarray(target)
+        if conditioner.shape != target.shape or conditioner.ndim != 1:
+            raise ValueError(
+                "conditioner and target must be matching 1-D arrays, got "
+                f"{conditioner.shape} and {target.shape}"
+            )
+        if conditioner.size == 0:
+            raise ValueError("cannot fit a conditional on zero observations")
+        n_bins = max(1, min(n_bins, conditioner.size))
+        qs = np.linspace(0.0, 1.0, n_bins + 1)
+        edges = np.unique(np.quantile(conditioner, qs))
+        if edges.size < 2:
+            # Constant conditioner: a single bin covering everything.
+            edges = np.asarray([edges[0], edges[0] + 1])
+        global_dist = EmpiricalDistribution.from_samples(target)
+        bin_idx = cls._bin_of(edges, conditioner)
+        dists: list[EmpiricalDistribution] = []
+        for b in range(edges.size - 1):
+            members = target[bin_idx == b]
+            if members.size < min_bin_count:
+                dists.append(global_dist)
+            else:
+                dists.append(EmpiricalDistribution.from_samples(members))
+        return cls(bin_edges=edges, bin_distributions=tuple(dists))
+
+    @staticmethod
+    def _bin_of(edges: np.ndarray, values: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(edges, values, side="right") - 1
+        return np.clip(idx, 0, edges.size - 2)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bin_distributions)
+
+    def distribution_for(self, value) -> EmpiricalDistribution:
+        """The per-bin distribution governing a single conditioner value."""
+        b = self._bin_of(self.bin_edges, np.atleast_1d(np.asarray(value)))[0]
+        return self.bin_distributions[int(b)]
+
+    def sample(
+        self, conditioner_values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one target per conditioner value.
+
+        Groups the indices by bin and issues one vectorised draw per bin,
+        so cost is O(n log s) regardless of how values interleave.
+        """
+        cond = np.asarray(conditioner_values)
+        if cond.size == 0:
+            return self.bin_distributions[0].values[:0].copy()
+        bins = self._bin_of(self.bin_edges, cond)
+        # Allocate output with the widest dtype among bins to avoid clipping.
+        sample_dtype = np.result_type(
+            *[d.values.dtype for d in self.bin_distributions]
+        )
+        out = np.empty(cond.size, dtype=sample_dtype)
+        for b in np.unique(bins):
+            mask = bins == b
+            out[mask] = self.bin_distributions[int(b)].sample(
+                int(mask.sum()), rng
+            )
+        return out

@@ -1,0 +1,25 @@
+"""Synthetic network-trace substrate.
+
+The paper seeds its generators with the SMIA 2011 capture from the Swedish
+Department of Defense, which is not redistributable here.  This package is
+the documented substitution (see DESIGN.md): a deterministic enterprise
+traffic synthesizer that emits *byte-exact pcap frames* for a population of
+hosts running realistic application mixes, plus injectors for the attack
+classes the Section IV detector must catch.  Because the data generators
+only consume the seed's empirical distributions, any heavy-tailed trace
+exercises the same code path as the original capture.
+"""
+
+from repro.trace.hosts import HostPopulation
+from repro.trace.workloads import ApplicationProfile, STANDARD_WORKLOADS
+from repro.trace.synthesizer import TraceSynthesizer, synthesize_seed_packets
+from repro.trace import attacks
+
+__all__ = [
+    "HostPopulation",
+    "ApplicationProfile",
+    "STANDARD_WORKLOADS",
+    "TraceSynthesizer",
+    "synthesize_seed_packets",
+    "attacks",
+]

@@ -1,0 +1,284 @@
+"""Attack traffic injectors.
+
+Each injector synthesizes the packet-level signature of one attack class
+from Section IV of the paper (Fig. 4's detection targets): TCP SYN flood,
+host scanning, network scanning, UDP/ICMP flooding, and distributed
+(multi-source) flooding.  Injectors return time-stamped frames plus a
+ground-truth :class:`AttackGroundTruth` so detector evaluation can compute
+precision/recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pcap.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TcpFlags,
+    build_ethernet_ipv4_packet,
+)
+
+__all__ = [
+    "AttackGroundTruth",
+    "syn_flood",
+    "host_scan",
+    "network_scan",
+    "udp_flood",
+    "icmp_flood",
+    "ddos_syn_flood",
+]
+
+TimedFrame = tuple[float, bytes]
+
+
+@dataclass(frozen=True)
+class AttackGroundTruth:
+    """Label for an injected attack: what, who, and when."""
+
+    kind: str
+    attacker_ips: tuple[int, ...]
+    victim_ips: tuple[int, ...]
+    start_time: float
+    end_time: float
+    frames: list[TimedFrame] = field(compare=False, repr=False, default_factory=list)
+
+
+def _spread(start: float, duration: float, n: int, rng) -> np.ndarray:
+    return start + np.sort(rng.random(n) * duration)
+
+
+def syn_flood(
+    *,
+    attacker_ip: int,
+    victim_ip: int,
+    victim_port: int = 80,
+    start_time: float,
+    duration: float = 5.0,
+    n_packets: int = 2000,
+    seed: int = 11,
+) -> AttackGroundTruth:
+    """TCP SYN flood: many tiny SYNs to one (host, port), no handshake.
+
+    Signature (paper §IV-d): many flows, small packets (~40 B frames),
+    small per-flow packet counts, low ACK/SYN ratio, few destination ports.
+    """
+    rng = np.random.default_rng(seed)
+    times = _spread(start_time, duration, n_packets, rng)
+    sports = rng.integers(1024, 65535, size=n_packets)
+    frames = [
+        (
+            float(times[i]),
+            build_ethernet_ipv4_packet(
+                src_ip=attacker_ip, dst_ip=victim_ip, protocol=PROTO_TCP,
+                src_port=int(sports[i]), dst_port=victim_port,
+                tcp_flags=TcpFlags.SYN, payload_len=0,
+            ),
+        )
+        for i in range(n_packets)
+    ]
+    return AttackGroundTruth(
+        kind="syn_flood",
+        attacker_ips=(attacker_ip,),
+        victim_ips=(victim_ip,),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )
+
+
+def host_scan(
+    *,
+    attacker_ip: int,
+    victim_ip: int,
+    start_time: float,
+    n_ports: int = 500,
+    duration: float = 10.0,
+    seed: int = 12,
+) -> AttackGroundTruth:
+    """Port scan of a single host: one small SYN to each of many ports.
+
+    Signature (paper §IV-b): many flows to one destination IP, high
+    destination-port count, ~40-byte probe packets.
+    """
+    rng = np.random.default_rng(seed)
+    ports = rng.permutation(np.arange(1, max(2, n_ports + 1)))[:n_ports]
+    times = _spread(start_time, duration, n_ports, rng)
+    frames = [
+        (
+            float(times[i]),
+            build_ethernet_ipv4_packet(
+                src_ip=attacker_ip, dst_ip=victim_ip, protocol=PROTO_TCP,
+                src_port=int(rng.integers(1024, 65535)),
+                dst_port=int(ports[i]),
+                tcp_flags=TcpFlags.SYN, payload_len=0,
+            ),
+        )
+        for i in range(n_ports)
+    ]
+    return AttackGroundTruth(
+        kind="host_scan",
+        attacker_ips=(attacker_ip,),
+        victim_ips=(victim_ip,),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )
+
+
+def network_scan(
+    *,
+    attacker_ip: int,
+    subnet_base: int,
+    start_time: float,
+    n_hosts: int = 200,
+    target_port: int = 445,
+    duration: float = 20.0,
+    seed: int = 13,
+) -> AttackGroundTruth:
+    """Sweep of one port across many hosts of a subnet.
+
+    Signature (paper §IV-c): many distinct destination IPs from a single
+    source, small probes; bandwidth/packet totals uninformative.
+    """
+    rng = np.random.default_rng(seed)
+    hosts = subnet_base + 1 + rng.permutation(max(n_hosts, 1) * 2)[:n_hosts]
+    times = _spread(start_time, duration, n_hosts, rng)
+    frames = [
+        (
+            float(times[i]),
+            build_ethernet_ipv4_packet(
+                src_ip=attacker_ip, dst_ip=int(hosts[i]), protocol=PROTO_TCP,
+                src_port=int(rng.integers(1024, 65535)),
+                dst_port=target_port,
+                tcp_flags=TcpFlags.SYN, payload_len=0,
+            ),
+        )
+        for i in range(n_hosts)
+    ]
+    return AttackGroundTruth(
+        kind="network_scan",
+        attacker_ips=(attacker_ip,),
+        victim_ips=tuple(int(h) for h in hosts),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )
+
+
+def udp_flood(
+    *,
+    attacker_ip: int,
+    victim_ip: int,
+    victim_port: int = 53,
+    start_time: float,
+    duration: float = 5.0,
+    n_packets: int = 6000,
+    payload: int = 1200,
+    seed: int = 14,
+) -> AttackGroundTruth:
+    """UDP bandwidth flood: large useless datagrams at a single service.
+
+    Signature (paper §IV-e): very high total bandwidth and packet count,
+    small deviation in per-flow size.
+    """
+    rng = np.random.default_rng(seed)
+    times = _spread(start_time, duration, n_packets, rng)
+    sports = rng.integers(1024, 65535, size=n_packets)
+    frames = [
+        (
+            float(times[i]),
+            build_ethernet_ipv4_packet(
+                src_ip=attacker_ip, dst_ip=victim_ip, protocol=PROTO_UDP,
+                src_port=int(sports[i]), dst_port=victim_port,
+                payload_len=payload,
+            ),
+        )
+        for i in range(n_packets)
+    ]
+    return AttackGroundTruth(
+        kind="udp_flood",
+        attacker_ips=(attacker_ip,),
+        victim_ips=(victim_ip,),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )
+
+
+def icmp_flood(
+    *,
+    attacker_ip: int,
+    victim_ip: int,
+    start_time: float,
+    duration: float = 5.0,
+    n_packets: int = 6000,
+    payload: int = 1000,
+    seed: int = 15,
+) -> AttackGroundTruth:
+    """ICMP echo flood (ping flood / smurf-style reflection volume)."""
+    rng = np.random.default_rng(seed)
+    times = _spread(start_time, duration, n_packets, rng)
+    frames = [
+        (
+            float(times[i]),
+            build_ethernet_ipv4_packet(
+                src_ip=attacker_ip, dst_ip=victim_ip, protocol=PROTO_ICMP,
+                src_port=int(rng.integers(1, 65535)), dst_port=i % 65536,
+                payload_len=payload,
+            ),
+        )
+        for i in range(n_packets)
+    ]
+    return AttackGroundTruth(
+        kind="icmp_flood",
+        attacker_ips=(attacker_ip,),
+        victim_ips=(victim_ip,),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )
+
+
+def ddos_syn_flood(
+    *,
+    attacker_ips: tuple[int, ...],
+    victim_ip: int,
+    victim_port: int = 80,
+    start_time: float,
+    duration: float = 5.0,
+    packets_per_attacker: int = 500,
+    seed: int = 16,
+) -> AttackGroundTruth:
+    """Distributed SYN flood: the §IV-a multi-source variant.
+
+    Per-source rate may stay under single-source thresholds; detection must
+    key on the *destination* aggregation, which is why the detector builds
+    destination-based traffic patterns first.
+    """
+    if not attacker_ips:
+        raise ValueError("need at least one attacker")
+    frames: list[TimedFrame] = []
+    for j, atk in enumerate(attacker_ips):
+        gt = syn_flood(
+            attacker_ip=atk,
+            victim_ip=victim_ip,
+            victim_port=victim_port,
+            start_time=start_time,
+            duration=duration,
+            n_packets=packets_per_attacker,
+            seed=seed + j,
+        )
+        frames.extend(gt.frames)
+    frames.sort(key=lambda f: f[0])
+    return AttackGroundTruth(
+        kind="ddos_syn_flood",
+        attacker_ips=tuple(attacker_ips),
+        victim_ips=(victim_ip,),
+        start_time=start_time,
+        end_time=start_time + duration,
+        frames=frames,
+    )

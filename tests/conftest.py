@@ -1,0 +1,38 @@
+"""Shared fixtures: expensive artifacts built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_seed
+from repro.trace.synthesizer import synthesize_seed_packets
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def seed_packets():
+    """A small deterministic synthetic capture (shared, read-only)."""
+    return synthesize_seed_packets(
+        duration=10.0, session_rate=40.0, n_clients=80, n_servers=20, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def seed_bundle(seed_packets):
+    """Seed flow table + property graph + analysis (Fig. 1 output)."""
+    return build_seed(seed_packets)
+
+
+@pytest.fixture(scope="session")
+def seed_graph(seed_bundle):
+    return seed_bundle.graph
+
+
+@pytest.fixture(scope="session")
+def seed_analysis(seed_bundle):
+    return seed_bundle.analysis

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface (python -m repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def seed_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "seed.pcap"
+    rc = main(
+        [
+            "synth", str(path),
+            "--duration", "8", "--session-rate", "30", "--seed", "5",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestSynth:
+    def test_writes_pcap(self, seed_pcap, capsys):
+        assert seed_pcap.exists()
+        assert seed_pcap.stat().st_size > 24
+
+
+class TestAnalyze:
+    def test_summary(self, seed_pcap, capsys):
+        rc = main(["analyze", str(seed_pcap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flows (edges)" in out
+        assert "mean in-degree" in out
+
+    def test_save(self, seed_pcap, tmp_path, capsys):
+        target = tmp_path / "seed.npz"
+        rc = main(["analyze", str(seed_pcap), "--save", str(target)])
+        assert rc == 0
+        assert target.exists()
+
+
+class TestGenerate:
+    def test_pgpba(self, seed_pcap, tmp_path, capsys):
+        npz = tmp_path / "syn.npz"
+        tsv = tmp_path / "syn.tsv"
+        rc = main(
+            [
+                "generate", str(seed_pcap),
+                "--algorithm", "pgpba",
+                "--edges", "5000",
+                "--fraction", "0.5",
+                "--save-npz", str(npz),
+                "--save-edges", str(tsv),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PGPBA" in out
+        assert npz.exists() and tsv.exists()
+
+    def test_pgsk(self, seed_pcap, capsys):
+        rc = main(
+            [
+                "generate", str(seed_pcap),
+                "--algorithm", "pgsk",
+                "--edges", "3000",
+            ]
+        )
+        assert rc == 0
+        assert "PGSK" in capsys.readouterr().out
+
+    def test_roundtrip_veracity(self, seed_pcap, tmp_path, capsys):
+        seed_npz = tmp_path / "seed.npz"
+        syn_npz = tmp_path / "syn.npz"
+        main(["analyze", str(seed_pcap), "--save", str(seed_npz)])
+        main(
+            [
+                "generate", str(seed_pcap),
+                "--edges", "4000", "--fraction", "0.5",
+                "--save-npz", str(syn_npz),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["veracity", str(seed_npz), str(syn_npz)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degree veracity" in out
+
+
+class TestDetect:
+    def test_clean_capture(self, seed_pcap, capsys):
+        rc = main(
+            ["detect", str(seed_pcap), "--baseline", str(seed_pcap)]
+        )
+        assert rc == 0
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_attack_capture(self, seed_pcap, tmp_path, capsys):
+        from repro.pcap.reader import PcapReader
+        from repro.pcap.writer import write_pcap
+        from repro.trace import attacks
+        from repro.trace.hosts import ipv4
+
+        with PcapReader(seed_pcap) as r:
+            frames = [(rec.timestamp, bytes(data)) for rec, data in r]
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5),
+            victim_ip=ipv4(10, 2, 0, 2),
+            start_time=frames[0][0] + 2.0,
+        )
+        mixed = sorted(frames + gt.frames, key=lambda f: f[0])
+        attacked = tmp_path / "attacked.pcap"
+        write_pcap(attacked, mixed)
+
+        rc = main(
+            ["detect", str(attacked), "--baseline", str(seed_pcap)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "syn_flood" in out or "tcp_flood" in out
+        assert "10.2.0.2" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

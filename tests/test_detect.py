@@ -1,0 +1,295 @@
+"""Tests for the Section IV anomaly-detection stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import _packets_from
+from repro.detect import (
+    DetectionThresholds,
+    NetflowAnomalyDetector,
+    build_traffic_patterns,
+    evaluate_detections,
+)
+from repro.detect.patterns import iter_windows
+from repro.detect.report import DetectionReport
+from repro.detect.detector import Detection
+from repro.netflow import FlowTable, assemble_flows
+from repro.trace import attacks, synthesize_seed_packets
+from repro.trace.hosts import ipv4
+
+WINDOW = 5.0
+
+
+def flows_from(frames):
+    frames = sorted(frames, key=lambda f: f[0])
+    return FlowTable.from_records(
+        list(assemble_flows(_packets_from(frames)))
+    )
+
+
+def columns(table):
+    return {k: table[k] for k in FlowTable.COLUMN_NAMES}
+
+
+@pytest.fixture(scope="module")
+def background():
+    return synthesize_seed_packets(
+        duration=20.0, session_rate=40, seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_table(background):
+    return flows_from(background)
+
+
+@pytest.fixture(scope="module")
+def thresholds(clean_table):
+    return DetectionThresholds.fit_normal(
+        columns(clean_table), window_seconds=WINDOW
+    )
+
+
+@pytest.fixture(scope="module")
+def attack_set(background):
+    t0 = 1_000_005.0
+    atk = [
+        attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5),
+            victim_ip=ipv4(10, 2, 0, 3), start_time=t0,
+        ),
+        attacks.host_scan(
+            attacker_ip=ipv4(203, 0, 113, 6),
+            victim_ip=ipv4(10, 2, 0, 4), start_time=t0 + 2,
+        ),
+        attacks.network_scan(
+            attacker_ip=ipv4(203, 0, 113, 7),
+            subnet_base=ipv4(10, 1, 0, 0), start_time=t0 + 4,
+        ),
+        attacks.udp_flood(
+            attacker_ip=ipv4(203, 0, 113, 8),
+            victim_ip=ipv4(10, 2, 0, 5), start_time=t0 + 6,
+        ),
+        attacks.icmp_flood(
+            attacker_ip=ipv4(203, 0, 113, 9),
+            victim_ip=ipv4(10, 2, 0, 6), start_time=t0 + 8,
+        ),
+        attacks.ddos_syn_flood(
+            attacker_ips=tuple(ipv4(203, 0, 113, 20 + j) for j in range(8)),
+            victim_ip=ipv4(10, 2, 0, 7), start_time=t0 + 10,
+        ),
+    ]
+    frames = list(background)
+    for a in atk:
+        frames.extend(a.frames)
+    return flows_from(frames), atk
+
+
+class TestPatterns:
+    def test_direction_validation(self, clean_table):
+        with pytest.raises(ValueError):
+            build_traffic_patterns(columns(clean_table), direction="bogus")
+
+    def test_flow_counts_sum(self, clean_table):
+        p = build_traffic_patterns(
+            columns(clean_table), direction="destination"
+        )
+        assert p.n_flows.sum() == len(clean_table)
+
+    def test_peer_counts_bounded_by_flows(self, clean_table):
+        p = build_traffic_patterns(columns(clean_table), direction="source")
+        assert (p.n_distinct_peers <= p.n_flows).all()
+
+    def test_avg_consistent_with_sum(self, clean_table):
+        p = build_traffic_patterns(
+            columns(clean_table), direction="destination"
+        )
+        assert np.allclose(
+            p.avg_flow_size, p.sum_flow_size / np.maximum(p.n_flows, 1)
+        )
+
+    def test_protocol_split_sums_to_total(self, clean_table):
+        p = build_traffic_patterns(
+            columns(clean_table), direction="destination"
+        )
+        assert np.array_equal(
+            p.tcp_flows + p.udp_flows + p.icmp_flows, p.n_flows
+        )
+
+    def test_ack_syn_ratio_inf_without_syn(self):
+        table = flows_from(
+            attacks.udp_flood(
+                attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=20
+            ).frames
+        )
+        p = build_traffic_patterns(columns(table), direction="destination")
+        assert np.isinf(p.ack_syn_ratio()).all()
+
+    def test_icmp_excluded_from_port_counts(self):
+        table = flows_from(
+            attacks.icmp_flood(
+                attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=50
+            ).frames
+        )
+        p = build_traffic_patterns(columns(table), direction="destination")
+        assert p.n_distinct_ports.max() == 0
+
+    def test_iter_windows_partition(self, clean_table):
+        total = 0
+        for _, cols in iter_windows(columns(clean_table), WINDOW):
+            span = cols["START_TIME"].max() - cols["START_TIME"].min()
+            assert span < WINDOW
+            total += len(cols["START_TIME"])
+        assert total == len(clean_table)
+
+    def test_iter_windows_validation(self, clean_table):
+        with pytest.raises(ValueError):
+            iter_windows(columns(clean_table), 0.0)
+
+
+class TestThresholds:
+    def test_fit_normal_orders_bounds(self, thresholds):
+        assert thresholds.dp_lt <= thresholds.dp_ht
+        assert thresholds.fs_lt <= thresholds.fs_ht
+        assert thresholds.np_lt <= thresholds.np_ht
+
+    def test_vector_roundtrip(self, thresholds):
+        back = DetectionThresholds.from_vector(thresholds.as_vector())
+        assert back == thresholds
+
+    def test_from_vector_repairs_ordering(self):
+        t = DetectionThresholds()
+        vec = t.as_vector()
+        names = [f.name for f in __import__("dataclasses").fields(t)]
+        i_lt, i_ht = names.index("dp_lt"), names.index("dp_ht")
+        vec[i_lt], vec[i_ht] = vec[i_ht], vec[i_lt]
+        repaired = DetectionThresholds.from_vector(vec)
+        assert repaired.dp_lt <= repaired.dp_ht
+
+    def test_scaled(self):
+        t = DetectionThresholds()
+        loose = t.scaled(2.0)
+        assert loose.nf_t == 2 * t.nf_t
+        assert loose.fs_lt == t.fs_lt / 2
+        with pytest.raises(ValueError):
+            t.scaled(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionThresholds(nf_t=-1)
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionThresholds(dp_lt=10, dp_ht=1)
+
+
+class TestDetector:
+    def test_all_attack_kinds_detected(self, attack_set, thresholds):
+        table, atk = attack_set
+        det = NetflowAnomalyDetector(thresholds)
+        found = det.detect_windowed(columns(table), window_seconds=WINDOW)
+        rep = evaluate_detections(found, atk)
+        assert rep.recall == 1.0
+        assert rep.precision >= 0.8
+
+    def test_clean_traffic_no_alarms(self, clean_table, thresholds):
+        det = NetflowAnomalyDetector(thresholds)
+        found = det.detect_windowed(
+            columns(clean_table), window_seconds=WINDOW
+        )
+        assert found == []
+
+    def test_syn_flood_names_victim(self, background, thresholds):
+        victim = ipv4(10, 2, 0, 3)
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5), victim_ip=victim,
+            start_time=1_000_005.0,
+        )
+        table = flows_from(list(background) + gt.frames)
+        det = NetflowAnomalyDetector(thresholds)
+        found = det.detect_windowed(columns(table), window_seconds=WINDOW)
+        syn = [d for d in found if "syn" in d.kind or d.kind == "tcp_flood"]
+        assert any(d.ip == victim for d in syn)
+
+    def test_network_scan_names_attacker(self, background, thresholds):
+        attacker = ipv4(203, 0, 113, 7)
+        gt = attacks.network_scan(
+            attacker_ip=attacker, subnet_base=ipv4(10, 1, 0, 0),
+            start_time=1_000_005.0,
+        )
+        table = flows_from(list(background) + gt.frames)
+        det = NetflowAnomalyDetector(thresholds)
+        found = det.detect_windowed(columns(table), window_seconds=WINDOW)
+        scans = [d for d in found if d.kind == "network_scan"]
+        assert any(
+            d.ip == attacker and d.direction == "source" for d in scans
+        )
+
+    def test_evidence_populated(self, attack_set, thresholds):
+        table, _ = attack_set
+        det = NetflowAnomalyDetector(thresholds)
+        found = det.detect_windowed(columns(table), window_seconds=WINDOW)
+        assert found
+        for d in found:
+            assert d.evidence["n_flows"] >= 0
+            assert "avg_flow_size" in d.evidence
+
+    def test_default_thresholds_construct(self):
+        det = NetflowAnomalyDetector()
+        assert det.thresholds == DetectionThresholds()
+
+
+class TestReport:
+    def test_perfect_report(self):
+        gt = attacks.syn_flood(
+            attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=10
+        )
+        det = [Detection(kind="syn_flood", ip=2, direction="destination")]
+        rep = evaluate_detections(det, [gt])
+        assert rep.true_positives == 1
+        assert rep.f1 == 1.0
+
+    def test_false_positive_counted(self):
+        det = [Detection(kind="syn_flood", ip=99, direction="destination")]
+        rep = evaluate_detections(det, [])
+        assert rep.false_positives == 1
+        assert rep.precision == 0.0
+
+    def test_missed_attack(self):
+        gt = attacks.udp_flood(
+            attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=10
+        )
+        rep = evaluate_detections([], [gt])
+        assert rep.false_negatives == 1
+        assert rep.recall == 0.0
+        assert rep.missed_attacks == ("udp_flood",)
+
+    def test_duplicate_detections_collapse(self):
+        gt = attacks.syn_flood(
+            attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=10
+        )
+        det = [
+            Detection(kind="syn_flood", ip=2, direction="destination"),
+            Detection(kind="tcp_flood", ip=2, direction="destination"),
+        ]
+        rep = evaluate_detections(det, [gt])
+        assert rep.true_positives == 1
+        assert rep.false_positives == 0
+
+    def test_direction_mismatch_is_fp(self):
+        gt = attacks.syn_flood(
+            attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=10
+        )
+        # names the victim but via a source-based pattern: not a match
+        det = [Detection(kind="syn_flood", ip=2, direction="source")]
+        rep = evaluate_detections(det, [gt])
+        assert rep.true_positives == 0
+        assert rep.false_positives == 1
+
+    def test_empty_everything(self):
+        rep = evaluate_detections([], [])
+        assert rep.precision == 1.0 and rep.recall == 1.0
+
+    def test_f1_zero_guard(self):
+        rep = DetectionReport(0, 5, 5, (), ("x",) * 5)
+        assert rep.f1 == 0.0

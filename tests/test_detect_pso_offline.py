@@ -1,0 +1,167 @@
+"""Tests for PSO threshold tuning and the offline graph pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import _packets_from, build_seed
+from repro.detect import (
+    DetectionThresholds,
+    NetflowAnomalyDetector,
+    OfflineDetectionPipeline,
+    ParticleSwarmOptimizer,
+    evaluate_detections,
+    tune_thresholds,
+)
+from repro.netflow import FlowTable, assemble_flows
+from repro.trace import attacks, synthesize_seed_packets
+from repro.trace.hosts import ipv4
+
+
+class TestPSOCore:
+    def test_maximises_quadratic(self):
+        # max of -(x-3)^2 - (y+1)^2 at (3, -1)
+        pso = ParticleSwarmOptimizer(
+            lambda v: -((v[0] - 3) ** 2) - (v[1] + 1) ** 2,
+            lower=np.array([-10.0, -10.0]),
+            upper=np.array([10.0, 10.0]),
+            n_particles=20,
+            n_iterations=60,
+            seed=1,
+        )
+        res = pso.run()
+        assert res.best_position[0] == pytest.approx(3.0, abs=0.1)
+        assert res.best_position[1] == pytest.approx(-1.0, abs=0.1)
+
+    def test_history_monotone(self):
+        pso = ParticleSwarmOptimizer(
+            lambda v: -np.sum(v**2),
+            lower=np.full(3, -5.0),
+            upper=np.full(3, 5.0),
+            n_particles=8,
+            n_iterations=20,
+            seed=2,
+        )
+        res = pso.run()
+        assert np.all(np.diff(res.history) >= 0)
+
+    def test_respects_bounds(self):
+        seen = []
+
+        def obj(v):
+            seen.append(v.copy())
+            return 0.0
+
+        ParticleSwarmOptimizer(
+            obj, np.array([0.0]), np.array([1.0]),
+            n_particles=5, n_iterations=10, seed=3,
+        ).run()
+        arr = np.concatenate(seen)
+        assert arr.min() >= 0.0 and arr.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSwarmOptimizer(
+                lambda v: 0.0, np.array([1.0]), np.array([0.0])
+            )
+        with pytest.raises(ValueError):
+            ParticleSwarmOptimizer(
+                lambda v: 0.0, np.array([0.0]), np.array([1.0]),
+                n_particles=1,
+            )
+
+
+class TestThresholdTuning:
+    def test_pso_beats_defaults(self):
+        bg = synthesize_seed_packets(duration=10.0, session_rate=30, seed=4)
+        t0 = 1_000_002.0
+        atk = [
+            attacks.syn_flood(
+                attacker_ip=ipv4(203, 0, 113, 5),
+                victim_ip=ipv4(10, 2, 0, 2), start_time=t0,
+            ),
+            attacks.host_scan(
+                attacker_ip=ipv4(203, 0, 113, 6),
+                victim_ip=ipv4(10, 2, 0, 3), start_time=t0 + 1,
+            ),
+        ]
+        frames = list(bg)
+        for a in atk:
+            frames.extend(a.frames)
+        frames.sort(key=lambda f: f[0])
+        table = FlowTable.from_records(
+            list(assemble_flows(_packets_from(frames)))
+        )
+        cols = {k: table[k] for k in FlowTable.COLUMN_NAMES}
+
+        base = DetectionThresholds()
+        f1_base = evaluate_detections(
+            NetflowAnomalyDetector(base).detect(cols), atk
+        ).f1
+        tuned, result = tune_thresholds(
+            cols, atk, n_particles=10, n_iterations=10, seed=5
+        )
+        f1_tuned = evaluate_detections(
+            NetflowAnomalyDetector(tuned).detect(cols), atk
+        ).f1
+        assert f1_tuned >= f1_base
+        assert result.best_value == pytest.approx(f1_tuned)
+
+
+class TestOfflinePipeline:
+    @pytest.fixture(scope="class")
+    def attack_graph(self):
+        bg = synthesize_seed_packets(duration=15.0, session_rate=40, seed=6)
+        t0 = 1_000_003.0
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5),
+            victim_ip=ipv4(10, 2, 0, 2), start_time=t0,
+        )
+        frames = sorted(list(bg) + gt.frames, key=lambda f: f[0])
+        bundle = build_seed(frames)
+        clean = build_seed(bg)
+        th = DetectionThresholds.fit_normal(
+            {k: clean.flow_table[k] for k in FlowTable.COLUMN_NAMES},
+            window_seconds=5.0,
+        )
+        return bundle.graph, gt, th
+
+    def test_detects_on_graph(self, attack_graph):
+        graph, gt, th = attack_graph
+        pipeline = OfflineDetectionPipeline(th)
+        windows = pipeline.detect_windowed(graph, window_seconds=5.0)
+        all_dets = [d for w in windows for d in w.detections]
+        rep = evaluate_detections(all_dets, [gt])
+        assert rep.recall == 1.0
+
+    def test_whole_graph_mode(self, attack_graph):
+        graph, _, th = attack_graph
+        dets = OfflineDetectionPipeline(th).detect(graph)
+        assert isinstance(dets, list)
+
+    def test_synthesized_syn_ack_columns(self, seed_graph):
+        """Generated graphs lack SYN/ACK tallies; the pipeline derives them
+        from PROTOCOL and STATE."""
+        stripped = seed_graph.select_edges(
+            np.arange(seed_graph.n_edges)
+        )
+        cols = OfflineDetectionPipeline._columns(stripped)
+        assert "SYN_COUNT" in cols and "ACK_COUNT" in cols
+        from repro.netflow.attributes import Protocol
+
+        tcp = cols["PROTOCOL"] == int(Protocol.TCP)
+        assert (cols["SYN_COUNT"][tcp] == 1).all()
+        assert (cols["SYN_COUNT"][~tcp] == 0).all()
+
+    def test_missing_attributes_rejected(self):
+        from repro.graph import PropertyGraph
+
+        bare = PropertyGraph(2, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError, match="lacks"):
+            OfflineDetectionPipeline().detect(bare)
+
+    def test_window_validation(self, attack_graph):
+        graph, _, th = attack_graph
+        with pytest.raises(ValueError):
+            OfflineDetectionPipeline(th).detect_windowed(
+                graph, window_seconds=0
+            )

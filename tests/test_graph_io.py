@@ -1,0 +1,90 @@
+"""Unit tests for repro.graph.io edge-list persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def make_graph():
+    return PropertyGraph(
+        4,
+        np.array([0, 1, 2, 2]),
+        np.array([1, 2, 3, 3]),
+        edge_properties={
+            "BYTES": np.array([10, 20, 30, 40], dtype=np.int64),
+            "DUR": np.array([0.5, 1.25, 2.0, 0.0]),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_structure(self, tmp_path):
+        g = make_graph()
+        p = tmp_path / "edges.tsv"
+        write_edge_list(g, p)
+        back = read_edge_list(p)
+        assert back.n_vertices == 4
+        assert np.array_equal(back.src, g.src)
+        assert np.array_equal(back.dst, g.dst)
+
+    def test_int_property_dtype_recovered(self, tmp_path):
+        p = tmp_path / "edges.tsv"
+        write_edge_list(make_graph(), p)
+        back = read_edge_list(p)
+        assert back.edge_properties["BYTES"].dtype == np.int64
+        assert back.edge_properties["BYTES"].tolist() == [10, 20, 30, 40]
+
+    def test_float_property_recovered(self, tmp_path):
+        p = tmp_path / "edges.tsv"
+        write_edge_list(make_graph(), p)
+        back = read_edge_list(p)
+        assert back.edge_properties["DUR"].dtype == np.float64
+        assert np.allclose(
+            back.edge_properties["DUR"], [0.5, 1.25, 2.0, 0.0]
+        )
+
+    def test_empty_graph(self, tmp_path):
+        g = PropertyGraph(3, np.empty(0, np.int64), np.empty(0, np.int64))
+        p = tmp_path / "empty.tsv"
+        write_edge_list(g, p)
+        back = read_edge_list(p)
+        assert back.n_vertices == 3
+        assert back.n_edges == 0
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = PropertyGraph(10, np.array([0]), np.array([1]))
+        p = tmp_path / "iso.tsv"
+        write_edge_list(g, p)
+        assert read_edge_list(p).n_vertices == 10
+
+
+class TestErrors:
+    def test_wrong_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.tsv"
+        p.write_text("not an edge list\n")
+        with pytest.raises(ValueError, match="not a repro edge list"):
+            read_edge_list(p)
+
+    def test_missing_nvertices_rejected(self, tmp_path):
+        p = tmp_path / "bad.tsv"
+        p.write_text("# repro-edge-list v1\n# bogus\n")
+        with pytest.raises(ValueError, match="n_vertices"):
+            read_edge_list(p)
+
+
+def test_large_roundtrip_chunked(tmp_path):
+    """Exercise the chunked writer across a chunk boundary."""
+    rng = np.random.default_rng(0)
+    n = 70_000  # > one 65536 chunk
+    g = PropertyGraph.from_edge_list(
+        rng.integers(0, 1000, n), rng.integers(0, 1000, n),
+        n_vertices=1000,
+        edge_properties={"W": rng.integers(0, 100, n)},
+    )
+    p = tmp_path / "big.tsv"
+    write_edge_list(g, p)
+    back = read_edge_list(p)
+    assert back.n_edges == n
+    assert np.array_equal(back.edge_properties["W"], g.edge_properties["W"])

@@ -1,0 +1,88 @@
+"""Unit tests for repro.graph.pagerank."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import PropertyGraph, pagerank
+
+
+class TestBasics:
+    def test_sums_to_one(self):
+        g = PropertyGraph(3, np.array([0, 1]), np.array([1, 2]))
+        assert pagerank(g).sum() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert pagerank(PropertyGraph.empty()).size == 0
+
+    def test_no_edges_uniform(self):
+        g = PropertyGraph(4, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert np.allclose(pagerank(g), 0.25)
+
+    def test_bad_damping(self):
+        g = PropertyGraph(2, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.0)
+
+    def test_sink_absorbs_rank(self):
+        # star into vertex 2: it must carry the largest rank
+        g = PropertyGraph(3, np.array([0, 1]), np.array([2, 2]))
+        pr = pagerank(g)
+        assert np.argmax(pr) == 2
+
+    def test_dangling_mass_redistributed(self):
+        # 0 -> 1, vertex 1 dangling: no rank lost.
+        g = PropertyGraph(2, np.array([0]), np.array([1]))
+        pr = pagerank(g)
+        assert pr.sum() == pytest.approx(1.0)
+        assert pr[1] > pr[0]
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_simple(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 25, 120)
+        dst = rng.integers(0, 25, 120)
+        g = PropertyGraph.from_edge_list(src, dst, n_vertices=25)
+        pr = pagerank(g, damping=0.85, tol=1e-12)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(25))
+        for a, b in zip(src.tolist(), dst.tolist()):
+            w = nxg.get_edge_data(a, b, {"weight": 0})["weight"]
+            nxg.add_edge(a, b, weight=w + 1)
+        expected = nx.pagerank(nxg, alpha=0.85, tol=1e-12, weight="weight")
+        for v in range(25):
+            assert pr[v] == pytest.approx(expected[v], abs=1e-8)
+
+    def test_parallel_edges_weigh_more(self):
+        # 0 sends 3 parallel edges to 1 and one to 2: rank(1) > rank(2).
+        g = PropertyGraph(
+            3, np.array([0, 0, 0, 0]), np.array([1, 1, 1, 2])
+        )
+        pr = pagerank(g, weighted=True)
+        assert pr[1] > pr[2]
+
+    def test_unweighted_ignores_multiplicity(self):
+        g = PropertyGraph(
+            3, np.array([0, 0, 0, 0]), np.array([1, 1, 1, 2])
+        )
+        pr = pagerank(g, weighted=False)
+        assert pr[1] == pytest.approx(pr[2])
+
+
+class TestConvergence:
+    def test_tolerance_controls_precision(self):
+        rng = np.random.default_rng(5)
+        g = PropertyGraph.from_edge_list(
+            rng.integers(0, 50, 300), rng.integers(0, 50, 300),
+            n_vertices=50,
+        )
+        loose = pagerank(g, tol=1e-3, max_iter=500)
+        tight = pagerank(g, tol=1e-14, max_iter=500)
+        # tol is an L1 stopping rule: total error stays near that order.
+        assert np.abs(loose - tight).sum() < 1e-2
+
+    def test_max_iter_respected(self):
+        g = PropertyGraph(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+        pr = pagerank(g, max_iter=1)
+        assert pr.sum() == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.stats.conditional."""
+
+import numpy as np
+import pytest
+
+from repro.stats import ConditionalDistribution
+
+
+def _coupled_data(n=5000, seed=0):
+    """Target strongly increases with the conditioner."""
+    rng = np.random.default_rng(seed)
+    cond = rng.integers(1, 1000, size=n)
+    target = cond * 10 + rng.integers(0, 5, size=n)
+    return cond, target
+
+
+class TestFit:
+    def test_basic_fit(self):
+        cond, target = _coupled_data()
+        cd = ConditionalDistribution.fit(cond, target, n_bins=8)
+        assert cd.n_bins >= 1
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="matching 1-D"):
+            ConditionalDistribution.fit(np.array([1, 2]), np.array([1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero observations"):
+            ConditionalDistribution.fit(np.array([]), np.array([]))
+
+    def test_constant_conditioner_single_bin(self):
+        cd = ConditionalDistribution.fit(
+            np.full(100, 7), np.arange(100), n_bins=8
+        )
+        assert cd.n_bins == 1
+
+    def test_sparse_bins_fall_back_to_global(self, rng):
+        # Almost all mass at one conditioner value, a couple of outliers.
+        cond = np.concatenate([np.zeros(100, dtype=int), [1000, 2000]])
+        target = np.concatenate([np.zeros(100, dtype=int), [5, 9]])
+        cd = ConditionalDistribution.fit(
+            cond, target, n_bins=4, min_bin_count=10
+        )
+        # The outlier bin inherits the global distribution, which is
+        # dominated by zeros.
+        d = cd.distribution_for(1500)
+        assert d.pmf([0])[0] > 0.9
+
+
+class TestSampling:
+    def test_preserves_coupling(self, rng):
+        cond, target = _coupled_data()
+        cd = ConditionalDistribution.fit(cond, target, n_bins=16)
+        lo = cd.sample(np.full(2000, 10), rng)
+        hi = cd.sample(np.full(2000, 900), rng)
+        assert hi.mean() > lo.mean() * 10
+
+    def test_unconditional_marginal_preserved(self, rng):
+        cond, target = _coupled_data()
+        cd = ConditionalDistribution.fit(cond, target, n_bins=16)
+        out = cd.sample(cond, rng)
+        # Resampling with the true conditioner distribution reproduces the
+        # target's overall mean within a few percent.
+        assert out.mean() == pytest.approx(target.mean(), rel=0.05)
+
+    def test_output_aligned_with_input(self, rng):
+        cond, target = _coupled_data(n=100)
+        cd = ConditionalDistribution.fit(cond, target, n_bins=4)
+        out = cd.sample(cond[:17], rng)
+        assert out.shape == (17,)
+
+    def test_empty_input(self, rng):
+        cond, target = _coupled_data(n=50)
+        cd = ConditionalDistribution.fit(cond, target)
+        assert cd.sample(np.array([]), rng).size == 0
+
+    def test_values_outside_training_range_clamped(self, rng):
+        cond, target = _coupled_data()
+        cd = ConditionalDistribution.fit(cond, target, n_bins=8)
+        out_lo = cd.sample(np.full(100, -1e9), rng)
+        out_hi = cd.sample(np.full(100, 1e9), rng)
+        assert out_lo.size == 100 and out_hi.size == 100
+        assert out_hi.mean() > out_lo.mean()
+
+    def test_deterministic_given_seed(self):
+        cond, target = _coupled_data(n=500)
+        cd = ConditionalDistribution.fit(cond, target)
+        a = cd.sample(cond[:100], np.random.default_rng(4))
+        b = cd.sample(cond[:100], np.random.default_rng(4))
+        assert np.array_equal(a, b)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.stats.powerlaw."""
+
+import numpy as np
+import pytest
+
+from repro.stats import fit_power_law, sample_power_law
+
+
+class TestSampling:
+    def test_respects_x_min(self, rng):
+        s = sample_power_law(2.5, 10_000, rng, x_min=3)
+        assert s.min() >= 3
+
+    def test_respects_x_max(self, rng):
+        s = sample_power_law(2.0, 10_000, rng, x_min=1, x_max=50)
+        assert s.max() <= 50
+
+    def test_integer_output(self, rng):
+        s = sample_power_law(2.5, 100, rng)
+        assert np.issubdtype(s.dtype, np.integer)
+
+    def test_heavier_tail_for_smaller_alpha(self, rng):
+        light = sample_power_law(3.5, 50_000, rng)
+        heavy = sample_power_law(1.8, 50_000, rng)
+        assert heavy.mean() > light.mean()
+
+    def test_alpha_must_exceed_one(self, rng):
+        with pytest.raises(ValueError):
+            sample_power_law(1.0, 10, rng)
+
+    def test_bad_x_min(self, rng):
+        with pytest.raises(ValueError):
+            sample_power_law(2.0, 10, rng, x_min=0)
+
+    def test_zero_size(self, rng):
+        assert sample_power_law(2.0, 0, rng).size == 0
+
+
+class TestFitting:
+    def test_recovers_alpha(self):
+        # The Clauset continuous-approximation MLE is accurate for
+        # x_min >= 2 (at x_min=1 the approximation is known to bias low).
+        rng = np.random.default_rng(42)
+        s = sample_power_law(2.5, 50_000, rng, x_min=2)
+        fit = fit_power_law(s, x_min=2)
+        assert fit.alpha == pytest.approx(2.5, abs=0.15)
+
+    def test_xmin_sweep_finds_cutoff(self):
+        rng = np.random.default_rng(7)
+        # Power law only above 5: uniform noise below.
+        tail = sample_power_law(2.2, 20_000, rng, x_min=5)
+        noise = rng.integers(1, 5, size=5_000)
+        fit = fit_power_law(np.concatenate([tail, noise]))
+        assert 3 <= fit.x_min <= 8
+        assert fit.alpha == pytest.approx(2.2, abs=0.3)
+
+    def test_ks_distance_small_for_true_model(self):
+        rng = np.random.default_rng(3)
+        s = sample_power_law(2.8, 30_000, rng, x_min=2)
+        fit = fit_power_law(s, x_min=2)
+        assert fit.ks_distance < 0.05
+
+    def test_pmf_sums_to_one_over_tail(self):
+        rng = np.random.default_rng(5)
+        s = sample_power_law(2.5, 10_000, rng)
+        fit = fit_power_law(s, x_min=1)
+        ks = np.arange(1, 20_000)
+        assert fit.pmf(ks).sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_pmf_zero_below_cutoff(self):
+        rng = np.random.default_rng(5)
+        s = sample_power_law(2.5, 5_000, rng, x_min=4)
+        fit = fit_power_law(s, x_min=4)
+        assert fit.pmf([1, 2, 3]).sum() == 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([3]))
+
+    def test_n_tail_reported(self):
+        rng = np.random.default_rng(9)
+        s = sample_power_law(2.0, 1_000, rng, x_min=1)
+        fit = fit_power_law(s, x_min=2)
+        assert fit.n_tail == int((s >= 2).sum())
