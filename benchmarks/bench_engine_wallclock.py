@@ -1,0 +1,231 @@
+"""Engine wall-clock benchmark: executor backends + shuffle memory.
+
+Unlike the ``bench_fig*`` modules, which read the *simulated* cluster
+clock, this bench times *real* elapsed seconds — the thing the pluggable
+executor layer (serial / threads / processes) accelerates — and tracks
+it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
+
+* PGPBA and PGSK generation wall time per backend at 10^5-10^6 edges,
+  with the speedup over ``serial`` and a digest of the output graph
+  proving every backend produced the bit-identical dataset;
+* peak driver memory of ``distinct()`` under the hash-exchange shuffle
+  versus the legacy collect-everything shuffle (tracemalloc peaks on the
+  serial backend, so only the shuffle structure differs).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized smoke run
+(~30 s); ``REPRO_BENCH_EDGES`` overrides the size list directly, e.g.
+``REPRO_BENCH_EDGES=100000,1000000``.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_engine_wallclock.py``)
+or via pytest like the figure benches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import cached_seed, format_table, measure_wall
+from repro.core import PGPBA, PGSK
+from repro.engine import ClusterContext, available_backends
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+BACKENDS = tuple(available_backends())  # ("serial", "threads", "processes")
+
+
+def _sizes() -> list[int]:
+    override = os.environ.get("REPRO_BENCH_EDGES")
+    if override:
+        return [int(s) for s in override.split(",") if s.strip()]
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return [50_000]
+    return [100_000, 1_000_000]
+
+
+def _shuffle_rows() -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 200_000
+    return 1_000_000
+
+
+def _context(backend: str) -> ClusterContext:
+    # A small simulated cluster whose 32 real partitions give every local
+    # worker something to chew on; the simulated shapes are identical
+    # across backends, only the wall clock differs.  Pool backends get at
+    # least 2 workers even on a 1-CPU host so the parallel dispatch path
+    # (thread pool / fork + shared memory) is genuinely exercised — there
+    # a speedup near 1.0 is the expected outcome, not a failure.
+    workers = os.cpu_count() or 1
+    if backend != "serial":
+        workers = max(2, workers)
+    return ClusterContext(
+        n_nodes=4, executor_cores=12, partition_multiplier=2,
+        executor=backend, local_workers=workers,
+    )
+
+
+def _graph_digest(graph) -> str:
+    """Order-sensitive digest of the full (src, dst, properties) dataset."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(graph.src).tobytes())
+    h.update(np.ascontiguousarray(graph.dst).tobytes())
+    for name in sorted(graph.edge_properties):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(graph.edge_properties[name]).tobytes())
+    return h.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+def run_backend_sweep(seed_bundle) -> list[dict]:
+    """Wall-clock generation per (algorithm, size, backend)."""
+    graph, analysis = seed_bundle.graph, seed_bundle.analysis
+    pgsk = PGSK(seed=11, kronfit_iterations=8, kronfit_swaps=30)
+    initiator = pgsk.fit_initiator(graph)
+    records: list[dict] = []
+    for size in _sizes():
+        for algo in ("PGPBA", "PGSK"):
+            serial_wall = None
+            for backend in BACKENDS:
+                with _context(backend) as ctx:
+                    if algo == "PGPBA":
+                        result, wall = measure_wall(
+                            lambda: PGPBA(fraction=2.0, seed=11).generate(
+                                graph, analysis, size, context=ctx
+                            )
+                        )
+                    else:
+                        result, wall = measure_wall(
+                            lambda: pgsk.generate(
+                                graph, analysis, size,
+                                context=ctx, initiator=initiator,
+                            )
+                        )
+                if backend == "serial":
+                    serial_wall = wall
+                records.append(
+                    {
+                        "algorithm": algo,
+                        "target_edges": size,
+                        "backend": backend,
+                        "workers": ctx.executor.workers,
+                        "edges": int(result.graph.n_edges),
+                        "wall_seconds": round(wall, 4),
+                        "speedup_vs_serial": round(serial_wall / wall, 3),
+                        "simulated_seconds": round(result.total_seconds, 4),
+                        "n_tasks": ctx.metrics.n_tasks,
+                        "digest": _graph_digest(result.graph),
+                    }
+                )
+    return records
+
+
+def run_shuffle_memory() -> dict:
+    """Peak driver memory of distinct(): hash exchange vs legacy collect."""
+    rows = _shuffle_rows()
+    peaks: dict[str, int] = {}
+    for shuffle in ("collect", "exchange"):
+        ctx = ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial",
+        )
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, rows // 2, size=rows, dtype=np.int64)
+        dst = rng.integers(0, rows // 2, size=rows, dtype=np.int64)
+        rdd = ctx.parallelize([src, dst])
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        rdd.distinct(key_columns=(0, 1), shuffle=shuffle)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[shuffle] = int(peak)
+    return {
+        "rows": rows,
+        "collect_peak_bytes": peaks["collect"],
+        "exchange_peak_bytes": peaks["exchange"],
+        "exchange_over_collect": round(
+            peaks["exchange"] / max(1, peaks["collect"]), 3
+        ),
+    }
+
+
+def run_engine_wallclock(seed_bundle) -> dict:
+    backends = run_backend_sweep(seed_bundle)
+    shuffle = run_shuffle_memory()
+    report = {
+        "cpu_count": os.cpu_count(),
+        "backends": backends,
+        "distinct_shuffle_memory": shuffle,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    headers = [
+        "algorithm", "target", "backend", "wall_s", "speedup",
+        "sim_s", "digest",
+    ]
+    rows = [
+        [
+            r["algorithm"], r["target_edges"], r["backend"],
+            f"{r['wall_seconds']:.3f}", f"{r['speedup_vs_serial']:.2f}",
+            f"{r['simulated_seconds']:.4f}", r["digest"],
+        ]
+        for r in backends
+    ]
+    table = format_table(headers, rows)
+    print(f"\n== Engine wall-clock: executor backends ==\n{table}")
+    print(
+        "\n== distinct() peak driver memory "
+        f"({shuffle['rows']:,} rows) ==\n"
+        f"collect  : {shuffle['collect_peak_bytes'] / 2**20:8.1f} MiB\n"
+        f"exchange : {shuffle['exchange_peak_bytes'] / 2**20:8.1f} MiB "
+        f"({shuffle['exchange_over_collect']:.2f}x)\n"
+        f"\nwritten to {JSON_PATH}"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+def test_engine_wallclock(benchmark, seed_bundle):
+    report = run_engine_wallclock(seed_bundle)
+
+    # Hard determinism requirement: every backend produced the
+    # bit-identical graph for the same (algorithm, size, seed).
+    by_case: dict[tuple, set] = {}
+    for r in report["backends"]:
+        by_case.setdefault(
+            (r["algorithm"], r["target_edges"]), set()
+        ).add(r["digest"])
+        assert r["n_tasks"] > 0
+    for case, digests in by_case.items():
+        assert len(digests) == 1, f"backends disagree on {case}: {digests}"
+
+    # The exchange shuffle must beat the collect shuffle on driver memory.
+    mem = report["distinct_shuffle_memory"]
+    assert mem["exchange_peak_bytes"] < mem["collect_peak_bytes"]
+
+    # Parallel wall-clock win is only observable with real cores.
+    if (os.cpu_count() or 1) >= 4 and not os.environ.get(
+        "REPRO_BENCH_SMOKE"
+    ):
+        best = max(
+            r["speedup_vs_serial"]
+            for r in report["backends"]
+            if r["backend"] != "serial"
+            and r["algorithm"] == "PGPBA"
+            and r["target_edges"] == max(_sizes())
+        )
+        assert best >= 2.0, f"expected >= 2x PGPBA speedup, got {best:.2f}x"
+
+    benchmark.pedantic(
+        lambda: run_shuffle_memory(), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    run_engine_wallclock(cached_seed())

@@ -8,7 +8,9 @@ printing.
 
 from repro.bench.harness import (
     cached_seed,
+    clock_report,
     default_cluster,
+    measure_wall,
     run_sweep,
     SweepPoint,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "default_cluster",
     "run_sweep",
     "SweepPoint",
+    "measure_wall",
+    "clock_report",
     "format_table",
     "print_series",
 ]

@@ -1,16 +1,30 @@
-"""Shared machinery for the figure-reproduction benchmarks."""
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Two clocks matter here and must not be conflated: ``result.total_seconds``
+is *simulated* cluster time (what Figs. 8-12 plot, identical across
+executor backends), while :func:`measure_wall` times *real* elapsed
+seconds on this machine (what the executor backends accelerate).
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.core.pipeline import SeedBundle, build_seed
 from repro.engine.context import ClusterContext
 from repro.trace.synthesizer import synthesize_seed_packets
 
-__all__ = ["cached_seed", "default_cluster", "run_sweep", "SweepPoint"]
+__all__ = [
+    "cached_seed",
+    "default_cluster",
+    "run_sweep",
+    "SweepPoint",
+    "measure_wall",
+    "clock_report",
+]
 
 
 @lru_cache(maxsize=4)
@@ -38,15 +52,47 @@ def cached_seed(
 
 
 def default_cluster(
-    *, n_nodes: int = 60, executor_cores: int = 12
+    *,
+    n_nodes: int = 60,
+    executor_cores: int = 12,
+    executor: str | None = None,
+    local_workers: int | None = None,
 ) -> ClusterContext:
     """The paper's standard configuration: 60 nodes, 12 cores each,
-    partitions = 2x executor cores."""
+    partitions = 2x executor cores.  ``executor`` / ``local_workers``
+    select the real execution backend (default: serial, or the
+    ``REPRO_EXECUTOR`` environment override)."""
     return ClusterContext(
         n_nodes=n_nodes,
         executor_cores=executor_cores,
         partition_multiplier=2,
+        executor=executor,
+        local_workers=local_workers,
     )
+
+
+def measure_wall(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once and return ``(result, wall_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def clock_report(result, wall_seconds: float) -> dict[str, float]:
+    """Both clocks for one :class:`~repro.core.generator.GenerationResult`:
+    real elapsed seconds next to the simulated-cluster seconds the figure
+    benchmarks plot."""
+    return {
+        "wall_seconds": float(wall_seconds),
+        "simulated_seconds": float(result.total_seconds),
+        "edges": float(result.graph.n_edges),
+        "wall_edges_per_second": (
+            result.graph.n_edges / wall_seconds
+            if wall_seconds > 0
+            else float("inf")
+        ),
+        "simulated_edges_per_second": float(result.edges_per_second),
+    }
 
 
 @dataclass

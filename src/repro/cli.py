@@ -61,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated cluster size")
     p.add_argument("--cores", type=int, default=12,
                    help="executor cores per node")
+    p.add_argument(
+        "--executor", choices=("serial", "threads", "processes"),
+        default=None,
+        help="real execution backend for partition tasks (default: "
+        "REPRO_EXECUTOR env var, then serial); only wall-clock time "
+        "changes, the simulated cluster metrics do not",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="local worker threads/processes for the executor backend "
+        "(default: REPRO_LOCAL_WORKERS env var, then the CPU count)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save-npz", type=Path, default=None)
     p.add_argument("--save-edges", type=Path, default=None)
@@ -117,24 +129,39 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    import time
+
     from repro.core import PGPBA, PGSK
     from repro.core.pipeline import build_seed
     from repro.engine import ClusterContext
     from repro.graph.io import write_edge_list
 
     bundle = build_seed(args.pcap)
-    ctx = ClusterContext(n_nodes=args.nodes, executor_cores=args.cores)
+    ctx = ClusterContext(
+        n_nodes=args.nodes,
+        executor_cores=args.cores,
+        executor=args.executor,
+        local_workers=args.workers,
+    )
     if args.algorithm == "pgpba":
         gen = PGPBA(fraction=args.fraction, seed=args.seed)
     else:
         gen = PGSK(seed=args.seed)
+    t0 = time.perf_counter()
     result = gen.generate(
         bundle.graph, bundle.analysis, args.edges, context=ctx
     )
+    wall = time.perf_counter() - t0
+    ctx.close()
     print(f"algorithm            : {result.algorithm}")
     print(f"edges                : {result.graph.n_edges}")
     print(f"vertices             : {result.graph.n_vertices}")
     print(f"iterations           : {result.iterations}")
+    print(
+        "executor             : "
+        f"{ctx.executor.name} x{ctx.executor.workers}"
+    )
+    print(f"wall-clock time      : {wall * 1e3:.2f} ms")
     print(f"simulated time       : {result.total_seconds * 1e3:.2f} ms")
     print(f"throughput           : {result.edges_per_second:,.0f} edges/s")
     print(

@@ -181,7 +181,11 @@ class PGPBA:
             peak_node_memory_bytes=ctx.metrics.peak_node_memory_bytes,
             n_nodes=ctx.n_nodes,
             iterations=iterations,
-            extra={"fraction": self.fraction},
+            extra={
+                "fraction": self.fraction,
+                "executor": ctx.executor.name,
+                "local_workers": ctx.executor.workers,
+            },
         )
 
 
@@ -194,7 +198,13 @@ def _decorate(
     seed: int,
 ) -> dict[str, np.ndarray]:
     """Shared Netflow-attribute decoration stage (Fig. 2 l.15-20 / Fig. 3
-    l.13-18).  One partitioned pass samples all nine columns."""
+    l.13-18).  One partitioned pass samples all nine columns.
+
+    Safe under every executor backend: ``model`` is frozen (immutable
+    distributions, read-only CDF lookups) and each task derives a private
+    RNG from ``(seed, 7919, partition_index)``, so concurrent partition
+    tasks share no mutable state and the sampled columns are identical
+    whichever backend runs them."""
     model = analysis.properties
     names = list(NETFLOW_EDGE_ATTRIBUTES)
 

@@ -201,5 +201,7 @@ class PGSK:
                 "rounds": rounds,
                 "initiator": initiator.theta.tolist(),
                 "distinct_target": distinct_target,
+                "executor": ctx.executor.name,
+                "local_workers": ctx.executor.workers,
             },
         )

@@ -13,6 +13,14 @@ from the simulated clock; veracity figures from the real data.
 """
 
 from repro.engine.context import ClusterContext
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_backends,
+    make_executor,
+)
 from repro.engine.rdd import ArrayRDD
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.metrics import SimulationMetrics, TaskRecord
@@ -24,4 +32,10 @@ __all__ = [
     "NodeSpec",
     "SimulationMetrics",
     "TaskRecord",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "available_backends",
 ]

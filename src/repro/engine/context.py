@@ -11,14 +11,21 @@ Configuration mirrors the paper's Spark knobs: ``n_nodes`` (10-60 in the
 experiments), ``executor_cores`` per node (the ``total-executor-cores``
 study of Fig. 8 found 12 optimal), and ``partition_multiplier`` (the paper
 found 2x-4x the executor-core count best).
+
+Orthogonally to the *simulated* cluster, ``executor`` / ``local_workers``
+pick the *real* execution backend partition tasks run on (see
+:mod:`repro.engine.executor`): simulated metrics are identical across
+backends because each task measures its own CPU cost; only wall-clock
+time changes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.engine.executor import Executor, make_executor
 from repro.engine.metrics import SimulationMetrics
 from repro.engine.partitioner import split_array, split_count
 from repro.engine.rdd import ArrayRDD, Columns
@@ -41,6 +48,8 @@ class ClusterContext:
         per_task_overhead: float = 0.00005,
         per_byte_cost: float = 5e-8,
         max_real_partitions: int = 32,
+        executor: str | Executor | None = None,
+        local_workers: int | None = None,
     ) -> None:
         if partition_multiplier < 1:
             raise ValueError("partition_multiplier must be >= 1")
@@ -57,6 +66,25 @@ class ClusterContext:
         self.partition_multiplier = partition_multiplier
         self.max_real_partitions = max_real_partitions
         self.metrics = SimulationMetrics(n_nodes=n_nodes)
+        if isinstance(executor, Executor):
+            self.executor = executor
+        else:
+            self.executor = make_executor(executor, local_workers)
+
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Dispatch a batch of partition tasks on the executor backend."""
+        return self.executor.run(tasks)
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "ClusterContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property

@@ -5,9 +5,14 @@ NumPy arrays (the columns).  The subset of the Spark RDD API the paper's
 algorithms use is provided: ``map_partitions``, ``sample`` (PGPBA's
 preferential-attachment stage), ``distinct`` (PGSK's collision removal),
 ``union``, ``collect`` and ``count``.  Transformations execute eagerly —
-each partition is timed and reported to the owning
-:class:`~repro.engine.context.ClusterContext`, whose scheduler converts the
-measured costs into simulated cluster time.
+partition tasks are dispatched on the context's
+:class:`~repro.engine.executor.Executor` backend (serial / threads /
+processes), each task times itself with ``time.perf_counter``, and the
+measured costs are reported to the owning
+:class:`~repro.engine.context.ClusterContext`, whose scheduler converts
+them into simulated cluster time.  Because costs are measured inside the
+tasks, the simulated clock sees the same per-partition work no matter
+which backend ran it.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import time
 from typing import Callable, Sequence
 
 import numpy as np
+
+from repro.engine.partitioner import split_count
 
 __all__ = ["ArrayRDD"]
 
@@ -43,6 +50,11 @@ class ArrayRDD:
     ``task_multiplier`` scheduler tasks — its measured cost is split evenly
     across them before the makespan model runs, so scaling behaviour is
     unchanged while the Python-side partition count stays small.
+
+    Partitions are immutable after construction, so the driver-side
+    metadata views (``count``, ``partition_sizes``, ``partition_bytes``)
+    are computed once and cached — PGPBA's growth loop polls them every
+    iteration.
     """
 
     def __init__(
@@ -58,6 +70,9 @@ class ArrayRDD:
         width = len(self._parts[0])
         if any(len(p) != width for p in self._parts):
             raise ValueError("all partitions must have the same column count")
+        self._cached_count: int | None = None
+        self._cached_sizes: np.ndarray | None = None
+        self._cached_bytes: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,16 +88,33 @@ class ArrayRDD:
         return len(self._parts[0])
 
     def count(self) -> int:
-        return sum(int(p[0].size) for p in self._parts)
+        if self._cached_count is None:
+            self._cached_count = int(self.partition_sizes().sum())
+        return self._cached_count
 
     def partition_sizes(self) -> np.ndarray:
-        """Row count per partition (driver-side metadata, no stage cost)."""
-        return np.asarray([p[0].size for p in self._parts], dtype=np.int64)
+        """Row count per partition (driver-side metadata, no stage cost).
+
+        Cached and returned read-only: partitions never change after
+        construction.
+        """
+        if self._cached_sizes is None:
+            sizes = np.asarray(
+                [p[0].size for p in self._parts], dtype=np.int64
+            )
+            sizes.flags.writeable = False
+            self._cached_sizes = sizes
+        return self._cached_sizes
 
     def partition_bytes(self) -> np.ndarray:
-        return np.asarray(
-            [sum(c.nbytes for c in p) for p in self._parts], dtype=np.int64
-        )
+        if self._cached_bytes is None:
+            nbytes = np.asarray(
+                [sum(c.nbytes for c in p) for p in self._parts],
+                dtype=np.int64,
+            )
+            nbytes.flags.writeable = False
+            self._cached_bytes = nbytes
+        return self._cached_bytes
 
     def collect(self) -> Columns:
         """Concatenate all partitions into driver-side column arrays."""
@@ -100,18 +132,25 @@ class ArrayRDD:
     ) -> "ArrayRDD":
         """Apply ``fn(columns, partition_index) -> columns`` per partition.
 
-        The per-partition CPU time is measured and fed to the simulated
-        scheduler; this is the workhorse all other transformations build on.
+        Tasks run concurrently on the context's executor backend; each
+        measures its own CPU time for the simulated scheduler.  This is
+        the workhorse all other transformations build on.
         """
-        new_parts: list[Columns] = []
-        cpu: list[float] = []
-        out_bytes: list[int] = []
-        for i, part in enumerate(self._parts):
-            t0 = time.perf_counter()
-            result = _validate_partition(fn(part, i))
-            cpu.append(time.perf_counter() - t0)
-            out_bytes.append(sum(c.nbytes for c in result))
-            new_parts.append(result)
+
+        def _make_task(part: Columns, pidx: int):
+            def _task():
+                t0 = time.perf_counter()
+                result = _validate_partition(fn(part, pidx))
+                return result, time.perf_counter() - t0
+
+            return _task
+
+        outs = self._ctx.run_tasks(
+            [_make_task(p, i) for i, p in enumerate(self._parts)]
+        )
+        new_parts = [out[0] for out in outs]
+        cpu = [out[1] for out in outs]
+        out_bytes = [sum(c.nbytes for c in p) for p in new_parts]
         rdd = ArrayRDD(
             self._ctx, new_parts, task_multiplier=self.task_multiplier
         )
@@ -153,49 +192,61 @@ class ArrayRDD:
     def distinct(
         self, *, key_columns: tuple[int, int] | int = 0,
         stage: str = "distinct",
+        shuffle: str = "exchange",
     ) -> "ArrayRDD":
         """Remove duplicate rows, keying on one int column or a pair.
 
         Modelled as Spark's two-phase distinct: a map-side per-partition
         de-duplication, then a hash shuffle so equal keys land in the same
-        partition, then a reduce-side unique.  The shuffle is charged to
-        the simulated clock via the second stage's measured cost.
+        partition, then a reduce-side unique.
+
+        ``shuffle="exchange"`` (default) is a real hash exchange: every
+        map task buckets its rows by ``hash(key) % n_partitions`` on the
+        executor, the driver only concatenates per-destination buckets,
+        and the reduce-side unique runs per-partition on the executor —
+        peak driver memory is O(largest partition), not O(dataset).
+        ``shuffle="collect"`` keeps the legacy collect-everything path
+        (used by the memory benchmarks as the comparison baseline).
+        The shuffle is charged to the simulated clock via the reduce
+        stage's measured cost plus a serial ``:driver`` component.
         """
         if isinstance(key_columns, int):
-            key_cols = (key_columns,)
+            key_cols: tuple[int, ...] = (key_columns,)
         else:
             key_cols = tuple(key_columns)
+        if shuffle not in ("exchange", "collect"):
+            raise ValueError("shuffle must be 'exchange' or 'collect'")
 
         map_side = self.map_partitions(
             lambda cols, i: _unique_rows(cols, key_cols),
             stage=f"{stage}:map",
         )
-
-        # Shuffle: hash-partition rows by key across the same partition
-        # count, then reduce-side unique.
         n_parts = self.n_partitions
-
-        def _shuffle_and_reduce() -> list[Columns]:
-            all_cols = map_side.collect()
-            key = _row_keys(all_cols, key_cols)
-            dest = key % n_parts
-            parts: list[Columns] = []
-            for p in range(n_parts):
-                mask = dest == p
-                sub = tuple(c[mask] for c in all_cols)
-                parts.append(_unique_rows(sub, key_cols))
-            return parts
-
-        t0 = time.perf_counter()
-        parts = _shuffle_and_reduce()
-        elapsed = time.perf_counter() - t0
+        if shuffle == "exchange":
+            # Hand the partition list over and drop the RDD: the exchange
+            # releases map-side partitions as soon as they are bucketed,
+            # which only works if nothing else keeps them alive.
+            map_parts = map_side._parts
+            del map_side
+            parts, task_cpu, driver_cpu = _exchange_shuffle(
+                self._ctx, map_parts, key_cols, n_parts
+            )
+        else:
+            parts, task_cpu, driver_cpu = _collect_shuffle(
+                map_side, key_cols, n_parts
+            )
         rdd = ArrayRDD(
             self._ctx, parts, task_multiplier=self.task_multiplier
         )
-        # 75% of the shuffle parallelises across reducers; 25% is the
-        # serial coordination/merge component that does not shrink with
-        # cluster size — the reason PGSK's strong scaling sits below
-        # PGPBA's in the paper's Fig. 12.
+        # The simulated cost model is calibrated independently of the
+        # local data path: of the total measured shuffle work, 75%
+        # parallelises across reducers and 25% is the serial
+        # coordination/merge component that does not shrink with cluster
+        # size — the reason PGSK's strong scaling sits below PGPBA's in
+        # the paper's Fig. 12.  (In real Spark the serial share is driver
+        # scheduling and merge coordination, which the local concat time
+        # alone would underestimate.)
+        elapsed = sum(task_cpu) + driver_cpu
         per_task = 0.75 * elapsed / max(1, n_parts)
         self._ctx._record_stage(
             f"{stage}:reduce",
@@ -220,23 +271,69 @@ class ArrayRDD:
         )
 
     def repartition(self, n_partitions: int, *, stage: str = "repartition") -> "ArrayRDD":
-        """Rebalance rows into ``n_partitions`` near-equal partitions."""
+        """Rebalance rows into ``n_partitions`` near-equal partitions.
+
+        A range exchange: the driver only *plans* (slices source
+        partitions into per-destination views); the per-destination
+        concatenations run as executor tasks.  Row order — and therefore
+        the output — is identical to concatenating everything and
+        ``np.array_split``-ing it, without ever materialising the full
+        dataset in the driver.
+        """
         if n_partitions < 1:
             raise ValueError("need at least one partition")
         t0 = time.perf_counter()
-        cols = self.collect()
-        parts: list[Columns] = []
-        splits = [np.array_split(c, n_partitions) for c in cols]
+        sizes = self.partition_sizes()
+        src_off = np.concatenate(([0], np.cumsum(sizes)))
+        total = int(src_off[-1])
+        bounds = np.concatenate(
+            ([0], np.cumsum(split_count(total, n_partitions)))
+        )
+        empty = tuple(c[:0] for c in self._parts[0])
+        pieces: list[list[Columns]] = []
         for p in range(n_partitions):
-            parts.append(tuple(splits[j][p] for j in range(len(cols))))
-        elapsed = time.perf_counter() - t0
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            mine: list[Columns] = []
+            if hi > lo:
+                s = int(np.searchsorted(src_off, lo, side="right")) - 1
+                while s < self.n_partitions and src_off[s] < hi:
+                    a = max(lo, int(src_off[s])) - int(src_off[s])
+                    b = min(hi, int(src_off[s + 1])) - int(src_off[s])
+                    if b > a:
+                        mine.append(
+                            tuple(c[a:b] for c in self._parts[s])
+                        )
+                    s += 1
+            pieces.append(mine)
+        plan_seconds = time.perf_counter() - t0
+
+        def _make_task(chunks: list[Columns]):
+            def _task():
+                t0 = time.perf_counter()
+                if not chunks:
+                    cols = empty
+                elif len(chunks) == 1:
+                    cols = chunks[0]
+                else:
+                    cols = tuple(
+                        np.concatenate([c[j] for c in chunks])
+                        for j in range(self.n_columns)
+                    )
+                return cols, time.perf_counter() - t0
+
+            return _task
+
+        outs = self._ctx.run_tasks([_make_task(m) for m in pieces])
+        parts = [out[0] for out in outs]
+        # Fold the (tiny, view-only) driver planning cost into the tasks
+        # so the stage structure matches the pre-exchange accounting.
+        cpu = [out[1] + plan_seconds / n_partitions for out in outs]
         rdd = ArrayRDD(
             self._ctx, parts, task_multiplier=self.task_multiplier
         )
-        per_task = elapsed / n_partitions
         self._ctx._record_stage(
             stage,
-            [per_task] * n_partitions,
+            cpu,
             [sum(c.nbytes for c in p) for p in parts],
             rdd,
             multiplier=self.task_multiplier,
@@ -252,12 +349,20 @@ class ArrayRDD:
         results are concatenated, mirroring ``RDD.mapPartitions().collect()``
         driver aggregation.
         """
-        outs: list[np.ndarray] = []
-        cpu: list[float] = []
-        for part in self._parts:
-            t0 = time.perf_counter()
-            outs.append(np.atleast_1d(np.asarray(fn(part))))
-            cpu.append(time.perf_counter() - t0)
+
+        def _make_task(part: Columns):
+            def _task():
+                t0 = time.perf_counter()
+                out = np.atleast_1d(np.asarray(fn(part)))
+                return out, time.perf_counter() - t0
+
+            return _task
+
+        results = self._ctx.run_tasks(
+            [_make_task(p) for p in self._parts]
+        )
+        outs = [r[0] for r in results]
+        cpu = [r[1] for r in results]
         self._ctx._record_stage(
             stage, cpu, [o.nbytes for o in outs], None,
             multiplier=self.task_multiplier,
@@ -265,20 +370,172 @@ class ArrayRDD:
         return np.concatenate(outs)
 
 
-def _row_keys(cols: Columns, key_cols: tuple[int, ...]) -> np.ndarray:
-    if len(key_cols) == 1:
-        return cols[key_cols[0]].astype(np.int64)
-    a = cols[key_cols[0]].astype(np.int64)
-    b = cols[key_cols[1]].astype(np.int64)
-    # Cantor-free packing: offset by global max of b within this call.
-    span = np.int64(max(int(b.max(initial=0)) + 1, 1))
-    return a * span + b
+# ----------------------------------------------------------------------
+# shuffle machinery
+# ----------------------------------------------------------------------
+
+# SplitMix64's multiplier: decorrelates the destination from low-order
+# key-bit patterns so contiguous vertex ids spread over all reducers.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash_keys(cols: Columns, key_cols: tuple[int, ...]) -> np.ndarray:
+    """Uint64 row hash for shuffle routing.
+
+    Wraparound is deliberate and harmless: the hash only decides which
+    reducer sees a row, and every path (any backend, any partitioning)
+    computes it identically.  Exactness for de-duplication comes from
+    :func:`_unique_rows`, never from this hash.
+    """
+    key = cols[key_cols[0]].astype(np.uint64)
+    for kc in key_cols[1:]:
+        key = key * _HASH_MULT + cols[kc].astype(np.uint64)
+    return key
+
+
+def _exchange_shuffle(
+    ctx, parts: list[Columns], key_cols: tuple[int, ...], n_parts: int
+) -> tuple[list[Columns], list[float], float]:
+    """Hash-exchange + reduce-side unique without a driver collect.
+
+    Returns ``(partitions, per_task_cpu, driver_cpu)`` — raw measured
+    seconds; the caller applies the calibrated parallel/serial cost
+    split.  Map-side bucketing and reduce-side unique both run on the
+    executor; the driver only concatenates per-destination buckets.
+    Buffers are released as eagerly as the dataflow allows — each source
+    partition right after it is bucketed, each bucket right after its
+    destination is gathered — so the peak beyond input + output is one
+    destination partition, not a second copy of the dataset (the legacy
+    collect shuffle's behaviour).
+    """
+    n_cols = len(parts[0])
+
+    def _make_bucket_task(cols: Columns):
+        def _task():
+            t0 = time.perf_counter()
+            dest = (_hash_keys(cols, key_cols) % np.uint64(n_parts)).astype(
+                np.int64
+            )
+            order = np.argsort(dest, kind="stable")
+            splits = np.searchsorted(dest[order], np.arange(n_parts + 1))
+            # Fancy indexing copies, so every bucket owns its rows and the
+            # driver can free it independently of its siblings.
+            buckets = [
+                tuple(c[order[splits[p]:splits[p + 1]]] for c in cols)
+                for p in range(n_parts)
+            ]
+            return buckets, time.perf_counter() - t0
+
+        return _task
+
+    results = ctx.run_tasks([_make_bucket_task(p) for p in parts])
+    bucket_cpu = [r[1] for r in results]
+    bucketed: list[list[Columns]] = [r[0] for r in results]
+    del results
+    parts.clear()  # map-side partitions are consumed; free them now
+
+    t0 = time.perf_counter()
+    gathered: list[Columns] = []
+    for p in range(n_parts):
+        gathered.append(
+            tuple(
+                np.concatenate([src[p][j] for src in bucketed])
+                for j in range(n_cols)
+            )
+        )
+        for src in bucketed:
+            src[p] = None  # this destination's buckets are merged; free
+    driver_seconds = time.perf_counter() - t0
+    del bucketed
+
+    def _make_unique_task(cols: Columns):
+        def _task():
+            t0 = time.perf_counter()
+            out = _unique_rows(cols, key_cols)
+            return out, time.perf_counter() - t0
+
+        return _task
+
+    reduced = ctx.run_tasks([_make_unique_task(g) for g in gathered])
+    out_parts = [r[0] for r in reduced]
+    task_cpu = [bucket_cpu[p] + reduced[p][1] for p in range(n_parts)]
+    return out_parts, task_cpu, driver_seconds
+
+
+def _collect_shuffle(
+    map_side: "ArrayRDD", key_cols: tuple[int, ...], n_parts: int
+) -> tuple[list[Columns], list[float], float]:
+    """Legacy shuffle: collect the whole dataset into the driver, route by
+    key hash, unique per destination.  O(dataset) driver memory; kept as
+    the baseline the engine benchmarks compare the exchange path against.
+
+    Returns ``(partitions, per_task_cpu, driver_cpu)`` with all measured
+    work in the task list; the caller applies the calibrated
+    parallel/serial cost split.
+    """
+    t0 = time.perf_counter()
+    all_cols = map_side.collect()
+    dest = (_hash_keys(all_cols, key_cols) % np.uint64(n_parts)).astype(
+        np.int64
+    )
+    parts: list[Columns] = []
+    for p in range(n_parts):
+        mask = dest == p
+        sub = tuple(c[mask] for c in all_cols)
+        parts.append(_unique_rows(sub, key_cols))
+    elapsed = time.perf_counter() - t0
+    return parts, [elapsed], 0.0
+
+
+# ----------------------------------------------------------------------
+# exact row de-duplication
+# ----------------------------------------------------------------------
+
+# a * span + b packing is exact only while it fits int64; beyond that we
+# fall back to a (slower) lexicographic unique over the stacked columns.
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 def _unique_rows(cols: Columns, key_cols: tuple[int, ...]) -> Columns:
     if cols[0].size == 0:
         return cols
-    keys = _row_keys(cols, key_cols)
-    _, idx = np.unique(keys, return_index=True)
+    if len(key_cols) == 1:
+        _, idx = np.unique(cols[key_cols[0]], return_index=True)
+    else:
+        idx = _unique_pair_index(
+            cols[key_cols[0]], cols[key_cols[1]]
+        )
     idx.sort()
     return tuple(c[idx] for c in cols)
+
+
+def _unique_pair_index(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """First-occurrence indices of distinct ``(a, b)`` pairs, exactly.
+
+    Fast path: pack the pair into one int64 key when the bounds prove
+    ``a * span + b`` cannot overflow (Python-int arithmetic, so the check
+    itself cannot wrap).  Otherwise — vertex ids near 2^32 with large
+    spans used to wrap silently here — stack the columns and take a
+    row-wise unique, which is exact for any magnitude.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if (
+        np.issubdtype(a.dtype, np.integer)
+        and np.issubdtype(b.dtype, np.integer)
+    ):
+        b_min, b_max = int(b.min()), int(b.max())
+        a_min, a_max = int(a.min()), int(a.max())
+        if a_min >= 0 and b_min >= 0:
+            span = b_max + 1
+            if a_max * span + b_max <= _INT64_MAX:
+                packed = a.astype(np.int64) * np.int64(span) + b.astype(
+                    np.int64
+                )
+                _, idx = np.unique(packed, return_index=True)
+                return idx
+    stacked = np.stack(
+        [np.asarray(a), np.asarray(b)], axis=1
+    )
+    _, idx = np.unique(stacked, axis=0, return_index=True)
+    return idx
