@@ -10,7 +10,12 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   proving every backend produced the bit-identical dataset;
 * peak driver memory of ``distinct()`` under the hash-exchange shuffle
   versus the legacy collect-everything shuffle (tracemalloc peaks on the
-  serial backend, so only the shuffle structure differs).
+  serial backend, so only the shuffle structure differs);
+* the lazy-DAG stage-fusion win: a 10^6-row grow/transform/contract/
+  distinct pipeline timed and tracemalloc-metered with fusion on versus
+  ``REPRO_FUSION=off``, asserting the fused run is >= 1.3x better on
+  wall clock or peak memory while producing the byte-identical dataset
+  and the identical simulated stage structure.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized smoke run
 (~30 s); ``REPRO_BENCH_EDGES`` overrides the size list directly, e.g.
@@ -155,13 +160,105 @@ def run_shuffle_memory() -> dict:
     }
 
 
+def _fusion_pipeline(ctx: ClusterContext, rows: int):
+    """Growth-shaped chain: expand x4, transform, contract, distinct.
+
+    Eagerly evaluated, every intermediate (including the 4x-expanded
+    dataset) is materialized in full before the next stage starts; fused,
+    each partition flows through the whole narrow chain in one task and
+    only the final contracted dataset is ever resident.
+    """
+    rng = np.random.default_rng(23)
+    src = rng.integers(0, rows // 2, size=rows, dtype=np.int64)
+    dst = rng.integers(0, rows // 2, size=rows, dtype=np.int64)
+    base = ctx.parallelize([src, dst])
+    grown = base.map_partitions(
+        lambda c, p: (np.repeat(c[0], 4), np.repeat(c[1], 4)),
+        stage="fuse:grow",
+    )
+    mixed = grown.map_partitions(
+        lambda c, p: (c[0] * 3 + p, c[0] ^ c[1]), stage="fuse:mix"
+    )
+    slim = mixed.map_partitions(
+        lambda c, p: (c[0][::4].copy(), c[1][::4].copy()),
+        stage="fuse:contract",
+    )
+    final = slim.distinct(key_columns=(0, 1), stage="fuse:distinct")
+    return final.collect()
+
+
+def _stage_structure(ctx: ClusterContext) -> list[tuple]:
+    """Simulated stage records minus the measured times."""
+    return [
+        (r.stage, r.partition, r.node, r.bytes_out)
+        for r in ctx.metrics.tasks
+    ]
+
+
+def run_fusion_comparison() -> dict:
+    """Wall clock + peak driver memory, fusion on vs off (serial backend,
+    so only the evaluation strategy differs).  Wall and memory are
+    measured in separate runs: tracemalloc's allocation hooks would skew
+    the timed pass."""
+    rows = _shuffle_rows()
+    modes: dict[str, dict] = {}
+    structures: dict[str, list] = {}
+    for mode in ("fused", "eager"):
+        fusion = mode == "fused"
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", fusion=fusion,
+        ) as ctx:
+            cols, wall = measure_wall(lambda: _fusion_pipeline(ctx, rows))
+            structures[mode] = _stage_structure(ctx)
+            h = hashlib.sha256()
+            for c in cols:
+                h.update(np.ascontiguousarray(c).tobytes())
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", fusion=fusion,
+        ) as ctx_mem:
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            _fusion_pipeline(ctx_mem, rows)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        modes[mode] = {
+            "wall_seconds": round(wall, 4),
+            "peak_tracemalloc_bytes": int(peak),
+            "digest": h.hexdigest()[:16],
+            "n_tasks": len(structures[mode]),
+        }
+    return {
+        "rows": rows,
+        "fused": modes["fused"],
+        "eager": modes["eager"],
+        "wall_eager_over_fused": round(
+            modes["eager"]["wall_seconds"]
+            / max(1e-9, modes["fused"]["wall_seconds"]),
+            3,
+        ),
+        "mem_eager_over_fused": round(
+            modes["eager"]["peak_tracemalloc_bytes"]
+            / max(1, modes["fused"]["peak_tracemalloc_bytes"]),
+            3,
+        ),
+        "digests_match": modes["fused"]["digest"]
+        == modes["eager"]["digest"],
+        "stage_structure_match": structures["fused"]
+        == structures["eager"],
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
     shuffle = run_shuffle_memory()
+    fusion = run_fusion_comparison()
     report = {
         "cpu_count": os.cpu_count(),
         "backends": backends,
         "distinct_shuffle_memory": shuffle,
+        "stage_fusion": fusion,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -184,8 +281,20 @@ def run_engine_wallclock(seed_bundle) -> dict:
         f"({shuffle['rows']:,} rows) ==\n"
         f"collect  : {shuffle['collect_peak_bytes'] / 2**20:8.1f} MiB\n"
         f"exchange : {shuffle['exchange_peak_bytes'] / 2**20:8.1f} MiB "
-        f"({shuffle['exchange_over_collect']:.2f}x)\n"
-        f"\nwritten to {JSON_PATH}"
+        f"({shuffle['exchange_over_collect']:.2f}x)"
+    )
+    print(
+        "\n== stage fusion vs eager "
+        f"({fusion['rows']:,} rows, serial backend) ==\n"
+        f"eager : {fusion['eager']['wall_seconds']:.3f} s  "
+        f"{fusion['eager']['peak_tracemalloc_bytes'] / 2**20:8.1f} MiB\n"
+        f"fused : {fusion['fused']['wall_seconds']:.3f} s  "
+        f"{fusion['fused']['peak_tracemalloc_bytes'] / 2**20:8.1f} MiB\n"
+        f"ratio : {fusion['wall_eager_over_fused']:.2f}x wall, "
+        f"{fusion['mem_eager_over_fused']:.2f}x memory "
+        f"(digests match: {fusion['digests_match']}, "
+        f"stages match: {fusion['stage_structure_match']})"
+        f"\n\nwritten to {JSON_PATH}"
     )
     return report
 
@@ -208,6 +317,22 @@ def test_engine_wallclock(benchmark, seed_bundle):
     # The exchange shuffle must beat the collect shuffle on driver memory.
     mem = report["distinct_shuffle_memory"]
     assert mem["exchange_peak_bytes"] < mem["collect_peak_bytes"]
+
+    # Stage fusion: same dataset, same simulated stages, >= 1.3x better
+    # wall clock or peak driver memory than the eager path.
+    fusion = report["stage_fusion"]
+    assert fusion["digests_match"], "fusion changed the dataset"
+    assert fusion["stage_structure_match"], (
+        "fusion changed the simulated stage structure"
+    )
+    best = max(
+        fusion["wall_eager_over_fused"], fusion["mem_eager_over_fused"]
+    )
+    assert best >= 1.3, (
+        f"expected >= 1.3x fusion win on wall or memory, got "
+        f"{fusion['wall_eager_over_fused']:.2f}x wall / "
+        f"{fusion['mem_eager_over_fused']:.2f}x memory"
+    )
 
     # Parallel wall-clock win is only observable with real cores.
     if (os.cpu_count() or 1) >= 4 and not os.environ.get(

@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="local worker threads/processes for the executor backend "
         "(default: REPRO_LOCAL_WORKERS env var, then the CPU count)",
     )
+    p.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable lazy stage fusion and run every transformation "
+        "eagerly (default: fused; also settable via REPRO_FUSION=off); "
+        "results and simulated cluster metrics are identical, only "
+        "wall-clock time and local peak memory change",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save-npz", type=Path, default=None)
     p.add_argument("--save-edges", type=Path, default=None)
@@ -142,6 +149,7 @@ def _cmd_generate(args) -> int:
         executor_cores=args.cores,
         executor=args.executor,
         local_workers=args.workers,
+        fusion=False if args.no_fusion else None,
     )
     if args.algorithm == "pgpba":
         gen = PGPBA(fraction=args.fraction, seed=args.seed)

@@ -94,7 +94,11 @@ class PGPBA:
         ctx = context or ClusterContext(n_nodes=1)
         start_clock = ctx.metrics.simulated_seconds
 
-        edges = ctx.parallelize([seed_graph.src, seed_graph.dst])
+        # The edge RDD is the loop-carried state: persist it so every
+        # iteration's sample reads the pinned partitions instead of
+        # replaying the whole growth lineage, and so the driver-side
+        # memory meter tracks what the loop keeps resident.
+        edges = ctx.parallelize([seed_graph.src, seed_graph.dst]).persist()
         n_vertices = seed_graph.n_vertices
         n_edges = seed_graph.n_edges
         in_dist = analysis.in_degree
@@ -143,9 +147,11 @@ class PGPBA:
             new_edges = sampled.map_partitions(_grow, stage="pa:grow")
             n_vertices += n_new
             n_edges += new_edges.count()
-            edges = edges.union(new_edges)
-            if edges.n_partitions > 4 * ctx.max_real_partitions:
-                edges = edges.repartition(ctx.max_real_partitions)
+            grown = edges.union(new_edges)
+            if grown.n_partitions > 4 * ctx.max_real_partitions:
+                grown = grown.repartition(ctx.max_real_partitions)
+            edges.unpersist()
+            edges = grown.persist()
 
         if n_edges < desired_size:
             raise RuntimeError(
@@ -167,6 +173,7 @@ class PGPBA:
         end_clock = ctx.metrics.simulated_seconds
 
         src, dst = edges.collect()[:2]
+        edges.unpersist()
         graph = PropertyGraph(
             n_vertices=n_vertices,
             src=src,

@@ -138,11 +138,18 @@ class PGSK:
             batch = ctx.generate(
                 batch_size, _descend, stage="kron:descend"
             )
-            edges = batch if edges is None else edges.union(batch)
+            merged = batch if edges is None else edges.union(batch)
             if self.deduplicate:
-                edges = edges.distinct(
+                merged = merged.distinct(
                     key_columns=(0, 1), stage="kron:distinct"
                 )
+            if edges is not None:
+                edges.unpersist()
+            # Pin the loop-carried edge set: the next round's union (and
+            # the duplication pass after the loop) read the cached
+            # partitions instead of replaying the descent lineage, and
+            # the driver-side memory meter sees what stays resident.
+            edges = merged.persist()
             have = edges.count()
             remaining = distinct_target - have
         if edges is None:
@@ -154,6 +161,7 @@ class PGSK:
                 s.size, size=distinct_target, replace=False
             )
             keep.sort()
+            edges.unpersist()
             edges = ctx.parallelize([s[keep], d[keep]])
 
         # --- duplication: lines 9-12, one partitioned pass.
@@ -166,7 +174,17 @@ class PGSK:
             n = np.maximum(n, 1)
             return np.repeat(s, n), np.repeat(d, n)
 
-        edges = edges.map_partitions(_duplicate, stage="kron:duplicate")
+        distinct_edges = edges
+        # Persist the multigraph: both the property-decoration pass and
+        # the final collect read it, and without the pin the second
+        # reader would re-run the duplication stage.
+        edges = distinct_edges.map_partitions(
+            _duplicate, stage="kron:duplicate"
+        ).persist()
+        # Force now so the duplication stage is charged to the structure
+        # clock (not the property clock) exactly as on the eager path.
+        edges.count()
+        distinct_edges.unpersist()
 
         structure_clock = ctx.metrics.simulated_seconds
 
@@ -182,6 +200,7 @@ class PGSK:
         end_clock = ctx.metrics.simulated_seconds
 
         src, dst = edges.collect()[:2]
+        edges.unpersist()
         graph = PropertyGraph(
             n_vertices=n_vertices,
             src=src,

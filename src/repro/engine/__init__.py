@@ -21,6 +21,7 @@ from repro.engine.executor import (
     available_backends,
     make_executor,
 )
+from repro.engine.plan import FUSION_ENV_VAR, resolve_fusion
 from repro.engine.rdd import ArrayRDD
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.metrics import SimulationMetrics, TaskRecord
@@ -28,6 +29,8 @@ from repro.engine.metrics import SimulationMetrics, TaskRecord
 __all__ = [
     "ClusterContext",
     "ArrayRDD",
+    "FUSION_ENV_VAR",
+    "resolve_fusion",
     "ClusterScheduler",
     "NodeSpec",
     "SimulationMetrics",

@@ -28,6 +28,7 @@ import numpy as np
 from repro.engine.executor import Executor, make_executor
 from repro.engine.metrics import SimulationMetrics
 from repro.engine.partitioner import split_array, split_count
+from repro.engine.plan import resolve_fusion
 from repro.engine.rdd import ArrayRDD, Columns
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 
@@ -50,6 +51,7 @@ class ClusterContext:
         max_real_partitions: int = 32,
         executor: str | Executor | None = None,
         local_workers: int | None = None,
+        fusion: bool | None = None,
     ) -> None:
         if partition_multiplier < 1:
             raise ValueError("partition_multiplier must be >= 1")
@@ -65,6 +67,12 @@ class ClusterContext:
         )
         self.partition_multiplier = partition_multiplier
         self.max_real_partitions = max_real_partitions
+        # Lazy evaluation + stage fusion switch: explicit argument >
+        # REPRO_FUSION env var > on.  Off, every transformation forces
+        # immediately (the eager reference path); the simulated metrics
+        # are identical either way, only wall clock / local peak memory
+        # change.
+        self.fusion_enabled = resolve_fusion(fusion)
         self.metrics = SimulationMetrics(n_nodes=n_nodes)
         if isinstance(executor, Executor):
             self.executor = executor
@@ -162,10 +170,17 @@ class ClusterContext:
         stage: str,
         cpu_seconds: list[float],
         bytes_out: list[int],
-        result: ArrayRDD | None,
+        result: "ArrayRDD | np.ndarray | None",
         *,
         multiplier: int = 1,
     ) -> None:
+        """Feed one logical stage's measured costs to the simulated
+        cluster.  ``result`` carries the per-partition byte sizes of the
+        stage's output dataset for the memory meter — either the
+        materialized RDD itself or a plain array of partition bytes (the
+        fused planner's form, which never materializes the RDD), or
+        ``None`` for stages with no resident result (driver-side work,
+        reductions)."""
         cpu = np.asarray(cpu_seconds, dtype=np.float64)
         size = np.asarray(bytes_out, dtype=np.int64)
         if multiplier > 1:
@@ -179,7 +194,10 @@ class ClusterContext:
             records, makespan, self.scheduler.per_stage_overhead
         )
         if result is not None:
-            part_bytes = result.partition_bytes()
+            if isinstance(result, ArrayRDD):
+                part_bytes = result.partition_bytes()
+            else:
+                part_bytes = np.asarray(result, dtype=np.int64)
             if multiplier > 1:
                 part_bytes = np.repeat(part_bytes // multiplier, multiplier)
             self.metrics.settle_memory(

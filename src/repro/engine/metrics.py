@@ -4,6 +4,12 @@ Every partition task contributes a :class:`TaskRecord` (measured CPU cost
 plus bytes produced); the scheduler folds records into per-node clocks and
 memory meters, and :class:`SimulationMetrics` exposes the aggregates the
 benchmarks read: simulated makespan, per-node peak memory, task counts.
+
+The metrics also meter the driver-side ``persist()`` cache of the lazy
+engine: every pinned RDD registers its resident bytes at
+materialization and releases them on ``unpersist()``, so
+``persisted_bytes`` / ``peak_persisted_bytes`` expose how much dataset
+the generators keep live across loop iterations.
 """
 
 from __future__ import annotations
@@ -37,6 +43,8 @@ class SimulationMetrics:
     node_busy_seconds: np.ndarray = None
     node_resident_bytes: np.ndarray = None
     node_peak_bytes: np.ndarray = None
+    persisted_rdd_bytes: dict = field(default_factory=dict)
+    peak_persisted_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.node_busy_seconds is None:
@@ -69,6 +77,23 @@ class SimulationMetrics:
             )
         self.node_resident_bytes = per_node
         self.node_peak_bytes = np.maximum(self.node_peak_bytes, per_node)
+
+    # ------------------------------------------------------------------
+    def register_persist(self, key: int, nbytes: int) -> None:
+        """Account one pinned RDD's resident bytes (keyed by identity)."""
+        self.persisted_rdd_bytes[key] = int(nbytes)
+        self.peak_persisted_bytes = max(
+            self.peak_persisted_bytes, self.persisted_bytes
+        )
+
+    def release_persist(self, key: int) -> None:
+        """Drop a pinned RDD's accounting (idempotent)."""
+        self.persisted_rdd_bytes.pop(key, None)
+
+    @property
+    def persisted_bytes(self) -> int:
+        """Bytes currently pinned by ``persist()`` across all RDDs."""
+        return int(sum(self.persisted_rdd_bytes.values()))
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,221 @@
+"""Lazy lineage plan: pending narrow ops, fusion chains, the planner.
+
+A transformed :class:`~repro.engine.rdd.ArrayRDD` no longer holds data —
+it holds one :class:`Pipe` per partition: a reference to a *materialized
+anchor* partition (an RDD that already owns its columns, or one marked
+``persist()``) plus the ordered chain of narrow per-partition operators
+(:class:`PendingOp`) still to be applied.  An action hands the pipes to
+:func:`fuse_and_run`, which
+
+* materializes any still-lazy persisted anchors first (a persist boundary
+  always breaks a fusion chain),
+* dispatches **one fused task per partition** on the context's executor
+  backend — the whole chain of narrow ops pipelines through a single
+  partition-sized buffer instead of materializing every intermediate RDD
+  across all partitions (Spark's narrow-stage pipelining),
+* times each operator segment separately inside the task and returns the
+  measurements grouped per logical stage, so the simulated cluster clock
+  records the *same* stages, task counts, byte volumes and node
+  assignments whether fusion is on or off (the two-clock contract: only
+  wall time and peak memory change).
+
+What breaks a fusion chain: a shuffle (``distinct``), ``repartition``, a
+``persist()`` boundary, and any action (``collect``/``count``/
+``reduce_columns``/size metadata).  Wide ops force their inputs through
+this planner and then run their existing exchange machinery on
+materialized partitions.
+
+``REPRO_FUSION=off`` (or ``ClusterContext(fusion=False)`` /
+``--no-fusion`` on the CLI) falls back to the eager path: every
+transformation forces immediately, so chains never grow beyond one
+operator and the engine behaves exactly like the pre-DAG versions —
+kept alive as the reference the equivalence tests and the CI off-run
+compare against.
+
+Recomputation semantics match Spark: forcing an RDD caches *its own*
+partitions, never the intermediates of its lineage.  Forking two lazy
+branches off one unforced, unpersisted RDD therefore re-runs the shared
+prefix (and honestly re-charges it to the simulated clock); ``persist()``
+the branch point to compute it once and account its resident bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FUSION_ENV_VAR",
+    "resolve_fusion",
+    "PendingOp",
+    "Pipe",
+    "StageGroup",
+    "fuse_and_run",
+]
+
+FUSION_ENV_VAR = "REPRO_FUSION"
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+_ON_VALUES = frozenset({"on", "1", "true", "yes"})
+
+
+def resolve_fusion(flag: bool | None = None) -> bool:
+    """Resolve the fusion switch: explicit argument > env var > on."""
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(FUSION_ENV_VAR)
+    if raw is None:
+        return True
+    value = raw.strip().lower()
+    if value in _OFF_VALUES:
+        return False
+    if value in _ON_VALUES or value == "":
+        return True
+    raise ValueError(
+        f"{FUSION_ENV_VAR} must be one of "
+        f"{sorted(_ON_VALUES | _OFF_VALUES)}, got {raw!r}"
+    )
+
+
+# Monotone ids give pending ops a global creation order; stages are
+# recorded in that order at force time, matching the call order the
+# eager path would have recorded them in.
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class PendingOp:
+    """One logical ``map_partitions`` application, not yet executed.
+
+    ``n_tasks`` / ``multiplier`` freeze the shape of the RDD the op was
+    applied to: partition *i* of that RDD is simulated task *i* of this
+    stage, whichever union position the partition later travels in.
+    """
+
+    fn: Callable[[Sequence[np.ndarray], int], Sequence[np.ndarray]]
+    stage: str
+    n_tasks: int
+    multiplier: int
+    seq: int = field(default_factory=lambda: next(_op_ids))
+
+
+@dataclass(frozen=True)
+class Pipe:
+    """Plan for one output partition: anchor partition + pending ops.
+
+    ``ops`` pairs each :class:`PendingOp` with the partition's task index
+    in the RDD the op was applied to — the ``pidx`` its function receives
+    (RNG streams key on it) and its slot in the stage's task list.
+    """
+
+    base: Any  # ArrayRDD (kept untyped to avoid a circular import)
+    index: int
+    ops: tuple[tuple[PendingOp, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class StageGroup:
+    """Per-logical-stage measurements harvested from fused tasks."""
+
+    op: PendingOp
+    task_indices: list[int]
+    cpu_seconds: list[float]
+    bytes_out: list[int]
+
+
+def _make_fused_task(cols, ops, validate):
+    """Build one executor task running a whole chain of narrow ops.
+
+    Each operator segment is timed separately (`two clocks`: the
+    simulated scheduler needs per-stage costs, not per-fused-task costs)
+    and its output bytes captured; intermediates die as soon as the next
+    segment consumed them, so the task's transient footprint is one
+    partition, not one RDD.
+    """
+
+    def _task():
+        current = cols
+        segments = []
+        for op, task_index in ops:
+            t0 = time.perf_counter()
+            current = validate(op.fn(current, task_index))
+            elapsed = time.perf_counter() - t0
+            segments.append(
+                (
+                    op.seq,
+                    task_index,
+                    elapsed,
+                    sum(c.nbytes for c in current),
+                )
+            )
+        return current, segments
+
+    return _task
+
+
+def fuse_and_run(ctx, pipes: Sequence[Pipe]):
+    """Execute a partition-pipe plan; return ``(partitions, stage_groups)``.
+
+    Pipes with an empty chain (pure union passthrough) are resolved by
+    reference on the driver — no task, no copy, no stage record, exactly
+    like the eager ``union``.
+    """
+    from repro.engine.rdd import _validate_partition
+
+    # A persisted-but-lazy anchor materializes first (and registers its
+    # resident bytes); its chain is its own, never fused into ours.
+    seen: set[int] = set()
+    for pipe in pipes:
+        if id(pipe.base) not in seen:
+            seen.add(id(pipe.base))
+            pipe.base._force()
+
+    work = [(i, pipe) for i, pipe in enumerate(pipes) if pipe.ops]
+    outs = ctx.run_tasks(
+        [
+            _make_fused_task(
+                pipe.base._parts[pipe.index], pipe.ops, _validate_partition
+            )
+            for _, pipe in work
+        ]
+    ) if work else []
+
+    parts: list = [None] * len(pipes)
+    for i, pipe in enumerate(pipes):
+        if not pipe.ops:
+            parts[i] = pipe.base._parts[pipe.index]
+    raw_segments: list[tuple[int, int, float, int]] = []
+    for (i, _pipe), (cols, segments) in zip(work, outs):
+        parts[i] = cols
+        raw_segments.extend(segments)
+
+    ops_by_seq = {
+        op.seq: op for pipe in pipes for op, _ in pipe.ops
+    }
+    # Group measurements per logical stage; duplicate task indices (an
+    # RDD unioned with itself re-runs its chain) keep the first
+    # measurement so the stage's task list stays one entry per partition.
+    grouped: dict[int, dict[int, tuple[float, int]]] = {}
+    for seq, task_index, elapsed, nbytes in raw_segments:
+        grouped.setdefault(seq, {}).setdefault(
+            task_index, (elapsed, nbytes)
+        )
+    stage_groups = []
+    for seq in sorted(grouped):
+        op = ops_by_seq[seq]
+        by_task = grouped[seq]
+        task_indices = sorted(by_task)
+        stage_groups.append(
+            StageGroup(
+                op=op,
+                task_indices=task_indices,
+                cpu_seconds=[by_task[t][0] for t in task_indices],
+                bytes_out=[by_task[t][1] for t in task_indices],
+            )
+        )
+    return parts, stage_groups

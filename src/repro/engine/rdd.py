@@ -1,18 +1,33 @@
 """Columnar resilient-dataset abstraction.
 
-An :class:`ArrayRDD` is a list of partitions, each a tuple of aligned 1-D
-NumPy arrays (the columns).  The subset of the Spark RDD API the paper's
-algorithms use is provided: ``map_partitions``, ``sample`` (PGPBA's
-preferential-attachment stage), ``distinct`` (PGSK's collision removal),
-``union``, ``collect`` and ``count``.  Transformations execute eagerly —
-partition tasks are dispatched on the context's
-:class:`~repro.engine.executor.Executor` backend (serial / threads /
-processes), each task times itself with ``time.perf_counter``, and the
-measured costs are reported to the owning
+An :class:`ArrayRDD` is a partitioned dataset of aligned 1-D NumPy
+columns exposing the subset of the Spark RDD API the paper's algorithms
+use: ``map_partitions``, ``sample`` (PGPBA's preferential-attachment
+stage), ``distinct`` (PGSK's collision removal), ``union``,
+``repartition``, ``collect`` and ``count``.
+
+Evaluation is **lazy**: transformations only extend a lineage plan (one
+:class:`~repro.engine.plan.Pipe` per partition); actions hand the plan to
+:func:`~repro.engine.plan.fuse_and_run`, which pipelines each partition's
+chain of narrow ops through a single fused executor task — no
+intermediate RDD is ever materialized across all partitions.  Each fused
+task times its operator segments separately with ``time.perf_counter``
+and the measured per-stage costs are reported to the owning
 :class:`~repro.engine.context.ClusterContext`, whose scheduler converts
-them into simulated cluster time.  Because costs are measured inside the
-tasks, the simulated clock sees the same per-partition work no matter
-which backend ran it.
+them into simulated cluster time: the simulated clock sees the same
+per-partition work no matter which backend ran it *and* no matter
+whether the stages were fused (only the wall clock and the peak local
+memory change).  ``ClusterContext(fusion=False)`` / ``REPRO_FUSION=off``
+force every transformation immediately — the eager reference path.
+
+``persist()`` pins an RDD: its first forcing materializes and caches the
+partitions (breaking any fusion chain through it) and registers the
+resident bytes with the metrics' driver-side memory meter until
+``unpersist()``.  Forcing always caches the forced RDD's own partitions,
+but *not* its lineage intermediates — fork two lazy branches off one
+unforced RDD and the shared prefix recomputes (and is re-charged to the
+simulated clock); persist the branch point to avoid that, as the
+generators do at their loop boundaries.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.engine.partitioner import split_count
+from repro.engine.plan import PendingOp, Pipe, fuse_and_run
 
 __all__ = ["ArrayRDD"]
 
@@ -51,10 +67,11 @@ class ArrayRDD:
     across them before the makespan model runs, so scaling behaviour is
     unchanged while the Python-side partition count stays small.
 
-    Partitions are immutable after construction, so the driver-side
+    Partitions are immutable once materialized, so the driver-side
     metadata views (``count``, ``partition_sizes``, ``partition_bytes``)
     are computed once and cached — PGPBA's growth loop polls them every
-    iteration.
+    iteration.  On a lazy RDD those metadata calls are actions: they
+    force the lineage.
     """
 
     def __init__(
@@ -65,14 +82,107 @@ class ArrayRDD:
         if task_multiplier < 1:
             raise ValueError("task_multiplier must be >= 1")
         self._ctx = context
-        self._parts = [_validate_partition(p) for p in partitions]
         self.task_multiplier = task_multiplier
-        width = len(self._parts[0])
-        if any(len(p) != width for p in self._parts):
+        self._pipes: list[Pipe] | None = None
+        parts = [_validate_partition(p) for p in partitions]
+        width = len(parts[0])
+        if any(len(p) != width for p in parts):
             raise ValueError("all partitions must have the same column count")
+        self._parts: list[Columns] | None = parts
+        self._known_columns: int | None = width
+        self._persisted = False
         self._cached_count: int | None = None
         self._cached_sizes: np.ndarray | None = None
         self._cached_bytes: np.ndarray | None = None
+
+    @classmethod
+    def _from_pipes(
+        cls,
+        context,
+        pipes: list[Pipe],
+        *,
+        task_multiplier: int,
+        n_columns: int | None,
+    ) -> "ArrayRDD":
+        rdd = cls.__new__(cls)
+        rdd._ctx = context
+        rdd.task_multiplier = task_multiplier
+        rdd._parts = None
+        rdd._pipes = pipes
+        rdd._known_columns = n_columns
+        rdd._persisted = False
+        rdd._cached_count = None
+        rdd._cached_sizes = None
+        rdd._cached_bytes = None
+        return rdd
+
+    # ------------------------------------------------------------------
+    # lineage plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _is_anchor(self) -> bool:
+        """Materialized and persisted RDDs anchor fusion chains."""
+        return self._parts is not None or self._persisted
+
+    def _as_pipes(self) -> list[Pipe]:
+        if self._is_anchor:
+            return [Pipe(self, i) for i in range(self.n_partitions)]
+        return list(self._pipes)
+
+    def _force(self) -> list[Columns]:
+        """Materialize this RDD (idempotent): run the fused plan, record
+        each logical stage's measured costs, cache the partitions."""
+        if self._parts is not None:
+            return self._parts
+        parts, stage_groups = fuse_and_run(self._ctx, self._pipes)
+        for group in stage_groups:
+            self._ctx._record_stage(
+                group.op.stage,
+                group.cpu_seconds,
+                group.bytes_out,
+                np.asarray(group.bytes_out, dtype=np.int64),
+                multiplier=group.op.multiplier,
+            )
+        width = len(parts[0])
+        if any(len(p) != width for p in parts):
+            raise ValueError("all partitions must have the same column count")
+        self._parts = parts
+        self._pipes = None
+        self._known_columns = width
+        if self._persisted:
+            self._ctx.metrics.register_persist(
+                id(self), int(self.partition_bytes().sum())
+            )
+        return self._parts
+
+    def persist(self) -> "ArrayRDD":
+        """Pin this RDD: cache its partitions at first forcing (breaking
+        any fusion chain through it) and account the resident bytes on
+        the driver-side memory meter until :meth:`unpersist`."""
+        if not self._persisted:
+            self._persisted = True
+            if self._parts is not None:
+                self._ctx.metrics.register_persist(
+                    id(self), int(self.partition_bytes().sum())
+                )
+        return self
+
+    def unpersist(self) -> "ArrayRDD":
+        """Release the persist accounting (idempotent).  The partition
+        arrays themselves are freed by reference counting once nothing
+        downstream aliases them."""
+        if self._persisted:
+            self._persisted = False
+            self._ctx.metrics.release_persist(id(self))
+        return self
+
+    @property
+    def is_persisted(self) -> bool:
+        return self._persisted
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._parts is not None
 
     # ------------------------------------------------------------------
     @property
@@ -81,11 +191,16 @@ class ArrayRDD:
 
     @property
     def n_partitions(self) -> int:
-        return len(self._parts)
+        return (
+            len(self._parts) if self._parts is not None else len(self._pipes)
+        )
 
     @property
     def n_columns(self) -> int:
-        return len(self._parts[0])
+        if self._known_columns is None:
+            self._force()
+            self._known_columns = len(self._parts[0])
+        return self._known_columns
 
     def count(self) -> int:
         if self._cached_count is None:
@@ -93,23 +208,23 @@ class ArrayRDD:
         return self._cached_count
 
     def partition_sizes(self) -> np.ndarray:
-        """Row count per partition (driver-side metadata, no stage cost).
+        """Row count per partition (an action on a lazy RDD).
 
         Cached and returned read-only: partitions never change after
-        construction.
+        materialization.
         """
         if self._cached_sizes is None:
-            sizes = np.asarray(
-                [p[0].size for p in self._parts], dtype=np.int64
-            )
+            parts = self._force()
+            sizes = np.asarray([p[0].size for p in parts], dtype=np.int64)
             sizes.flags.writeable = False
             self._cached_sizes = sizes
         return self._cached_sizes
 
     def partition_bytes(self) -> np.ndarray:
         if self._cached_bytes is None:
+            parts = self._force()
             nbytes = np.asarray(
-                [sum(c.nbytes for c in p) for p in self._parts],
+                [sum(c.nbytes for c in p) for p in parts],
                 dtype=np.int64,
             )
             nbytes.flags.writeable = False
@@ -118,8 +233,9 @@ class ArrayRDD:
 
     def collect(self) -> Columns:
         """Concatenate all partitions into driver-side column arrays."""
+        parts = self._force()
         return tuple(
-            np.concatenate([p[j] for p in self._parts])
+            np.concatenate([p[j] for p in parts])
             for j in range(self.n_columns)
         )
 
@@ -132,32 +248,35 @@ class ArrayRDD:
     ) -> "ArrayRDD":
         """Apply ``fn(columns, partition_index) -> columns`` per partition.
 
-        Tasks run concurrently on the context's executor backend; each
-        measures its own CPU time for the simulated scheduler.  This is
-        the workhorse all other transformations build on.
+        A narrow transformation: it extends the lineage plan and returns
+        immediately; the fused task chain runs (concurrently, on the
+        context's executor backend) when an action forces the result.
+        This is the workhorse all other transformations build on.
         """
-
-        def _make_task(part: Columns, pidx: int):
-            def _task():
-                t0 = time.perf_counter()
-                result = _validate_partition(fn(part, pidx))
-                return result, time.perf_counter() - t0
-
-            return _task
-
-        outs = self._ctx.run_tasks(
-            [_make_task(p, i) for i, p in enumerate(self._parts)]
+        op = PendingOp(
+            fn=fn,
+            stage=stage,
+            n_tasks=self.n_partitions,
+            multiplier=self.task_multiplier,
         )
-        new_parts = [out[0] for out in outs]
-        cpu = [out[1] for out in outs]
-        out_bytes = [sum(c.nbytes for c in p) for p in new_parts]
-        rdd = ArrayRDD(
-            self._ctx, new_parts, task_multiplier=self.task_multiplier
+        if self._is_anchor:
+            pipes = [
+                Pipe(self, i, ((op, i),)) for i in range(self.n_partitions)
+            ]
+        else:
+            pipes = [
+                Pipe(p.base, p.index, p.ops + ((op, i),))
+                for i, p in enumerate(self._pipes)
+            ]
+        out = ArrayRDD._from_pipes(
+            self._ctx,
+            pipes,
+            task_multiplier=self.task_multiplier,
+            n_columns=None,
         )
-        self._ctx._record_stage(
-            stage, cpu, out_bytes, rdd, multiplier=self.task_multiplier
-        )
-        return rdd
+        if not self._ctx.fusion_enabled:
+            out._force()
+        return out
 
     def sample(
         self, fraction: float, *, seed: int = 0, stage: str = "sample"
@@ -197,8 +316,11 @@ class ArrayRDD:
         """Remove duplicate rows, keying on one int column or a pair.
 
         Modelled as Spark's two-phase distinct: a map-side per-partition
-        de-duplication, then a hash shuffle so equal keys land in the same
-        partition, then a reduce-side unique.
+        de-duplication (a narrow op — it fuses with whatever chain
+        produced its input), then a hash shuffle so equal keys land in
+        the same partition, then a reduce-side unique.  The shuffle is a
+        fusion barrier: it forces the map side and returns a
+        materialized RDD.
 
         ``shuffle="exchange"`` (default) is a real hash exchange: every
         map task buckets its rows by ``hash(key) % n_partitions`` on the
@@ -217,21 +339,22 @@ class ArrayRDD:
         if shuffle not in ("exchange", "collect"):
             raise ValueError("shuffle must be 'exchange' or 'collect'")
 
+        n_parts = self.n_partitions
         map_side = self.map_partitions(
             lambda cols, i: _unique_rows(cols, key_cols),
             stage=f"{stage}:map",
         )
-        n_parts = self.n_partitions
         if shuffle == "exchange":
             # Hand the partition list over and drop the RDD: the exchange
             # releases map-side partitions as soon as they are bucketed,
             # which only works if nothing else keeps them alive.
-            map_parts = map_side._parts
+            map_parts = list(map_side._force())
             del map_side
             parts, task_cpu, driver_cpu = _exchange_shuffle(
                 self._ctx, map_parts, key_cols, n_parts
             )
         else:
+            map_side._force()
             parts, task_cpu, driver_cpu = _collect_shuffle(
                 map_side, key_cols, n_parts
             )
@@ -252,7 +375,7 @@ class ArrayRDD:
             f"{stage}:reduce",
             [per_task] * n_parts,
             [sum(c.nbytes for c in p) for p in parts],
-            rdd,
+            rdd.partition_bytes(),
             multiplier=self.task_multiplier,
         )
         self._ctx._record_stage(
@@ -261,27 +384,45 @@ class ArrayRDD:
         return rdd
 
     def union(self, other: "ArrayRDD") -> "ArrayRDD":
-        """Concatenate partition lists (no data movement, like Spark)."""
-        if other.n_columns != self.n_columns:
+        """Concatenate partition lists (no data movement, like Spark).
+
+        Lazy and free: each side contributes its pipes (or anchor
+        partitions by reference) and keeps its own pending chain — the
+        column-count check runs when both widths are already known,
+        otherwise at materialization.
+        """
+        if (
+            self._known_columns is not None
+            and other._known_columns is not None
+            and self._known_columns != other._known_columns
+        ):
             raise ValueError("union requires matching column counts")
-        return ArrayRDD(
+        width = self._known_columns or other._known_columns
+        out = ArrayRDD._from_pipes(
             self._ctx,
-            self._parts + other._parts,
+            self._as_pipes() + other._as_pipes(),
             task_multiplier=max(self.task_multiplier, other.task_multiplier),
+            n_columns=width
+            if (self._known_columns and other._known_columns)
+            else None,
         )
+        if not self._ctx.fusion_enabled:
+            out._force()
+        return out
 
     def repartition(self, n_partitions: int, *, stage: str = "repartition") -> "ArrayRDD":
         """Rebalance rows into ``n_partitions`` near-equal partitions.
 
-        A range exchange: the driver only *plans* (slices source
-        partitions into per-destination views); the per-destination
-        concatenations run as executor tasks.  Row order — and therefore
-        the output — is identical to concatenating everything and
-        ``np.array_split``-ing it, without ever materialising the full
-        dataset in the driver.
+        A range exchange (and therefore a fusion barrier): the driver
+        only *plans* (slices source partitions into per-destination
+        views); the per-destination concatenations run as executor
+        tasks.  Row order — and therefore the output — is identical to
+        concatenating everything and ``np.array_split``-ing it, without
+        ever materialising the full dataset in the driver.
         """
         if n_partitions < 1:
             raise ValueError("need at least one partition")
+        src_parts = self._force()
         t0 = time.perf_counter()
         sizes = self.partition_sizes()
         src_off = np.concatenate(([0], np.cumsum(sizes)))
@@ -289,7 +430,7 @@ class ArrayRDD:
         bounds = np.concatenate(
             ([0], np.cumsum(split_count(total, n_partitions)))
         )
-        empty = tuple(c[:0] for c in self._parts[0])
+        empty = tuple(c[:0] for c in src_parts[0])
         pieces: list[list[Columns]] = []
         for p in range(n_partitions):
             lo, hi = int(bounds[p]), int(bounds[p + 1])
@@ -301,11 +442,12 @@ class ArrayRDD:
                     b = min(hi, int(src_off[s + 1])) - int(src_off[s])
                     if b > a:
                         mine.append(
-                            tuple(c[a:b] for c in self._parts[s])
+                            tuple(c[a:b] for c in src_parts[s])
                         )
                     s += 1
             pieces.append(mine)
         plan_seconds = time.perf_counter() - t0
+        n_cols = self.n_columns
 
         def _make_task(chunks: list[Columns]):
             def _task():
@@ -317,7 +459,7 @@ class ArrayRDD:
                 else:
                     cols = tuple(
                         np.concatenate([c[j] for c in chunks])
-                        for j in range(self.n_columns)
+                        for j in range(n_cols)
                     )
                 return cols, time.perf_counter() - t0
 
@@ -335,7 +477,7 @@ class ArrayRDD:
             stage,
             cpu,
             [sum(c.nbytes for c in p) for p in parts],
-            rdd,
+            rdd.partition_bytes(),
             multiplier=self.task_multiplier,
         )
         return rdd
@@ -347,8 +489,9 @@ class ArrayRDD:
 
         ``fn`` maps a partition to a (possibly scalar-like) array; the
         results are concatenated, mirroring ``RDD.mapPartitions().collect()``
-        driver aggregation.
+        driver aggregation.  An action: forces the lineage first.
         """
+        parts = self._force()
 
         def _make_task(part: Columns):
             def _task():
@@ -358,9 +501,7 @@ class ArrayRDD:
 
             return _task
 
-        results = self._ctx.run_tasks(
-            [_make_task(p) for p in self._parts]
-        )
+        results = self._ctx.run_tasks([_make_task(p) for p in parts])
         outs = [r[0] for r in results]
         cpu = [r[1] for r in results]
         self._ctx._record_stage(

@@ -112,7 +112,9 @@ class TestRDD:
     def test_map_partitions_records_metrics(self, ctx):
         rdd = ctx.parallelize([np.arange(10)])
         before = ctx.metrics.n_tasks
-        rdd.map_partitions(lambda cols, i: cols)
+        # count() is the forcing action: lazily planned stages are only
+        # charged to the simulated clock once something materializes.
+        rdd.map_partitions(lambda cols, i: cols).count()
         assert ctx.metrics.n_tasks == before + rdd.n_partitions
         assert ctx.metrics.simulated_seconds > 0
 
@@ -193,7 +195,7 @@ class TestContextMetrics:
     def test_memory_settles_after_stage(self):
         ctx = ClusterContext(n_nodes=2, executor_cores=2)
         rdd = ctx.parallelize([np.arange(10_000)])
-        rdd.map_partitions(lambda cols, i: (np.repeat(cols[0], 4),))
+        rdd.map_partitions(lambda cols, i: (np.repeat(cols[0], 4),)).count()
         assert ctx.metrics.peak_node_memory_bytes > (
             ctx.scheduler.node.memory_overhead_bytes
         )
@@ -202,7 +204,7 @@ class TestContextMetrics:
         ctx = ClusterContext(n_nodes=1, executor_cores=1)
         ctx.parallelize([np.arange(10)]).map_partitions(
             lambda cols, i: cols
-        )
+        ).count()
         ctx.reset_metrics()
         assert ctx.metrics.simulated_seconds == 0.0
         assert ctx.metrics.n_tasks == 0
@@ -211,7 +213,7 @@ class TestContextMetrics:
         ctx = ClusterContext(n_nodes=2, executor_cores=2)
         ctx.parallelize([np.arange(1000)]).map_partitions(
             lambda cols, i: (np.sort(cols[0]),)
-        )
+        ).count()
         assert 0.0 <= ctx.metrics.utilisation() <= 1.0
 
     def test_validation(self):
