@@ -15,7 +15,12 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   distinct pipeline timed and tracemalloc-metered with fusion on versus
   ``REPRO_FUSION=off``, asserting the fused run is >= 1.3x better on
   wall clock or peak memory while producing the byte-identical dataset
-  and the identical simulated stage structure.
+  and the identical simulated stage structure;
+* the cost of fault recovery: the same pipeline under a seeded
+  ``FaultPlan`` (exceptions + killed workers + stragglers) versus
+  fault-free, asserting the recovered run produced the byte-identical
+  dataset and identical simulated stage structure, and reporting the
+  wall-clock overhead plus the recovery counters.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized smoke run
 (~30 s); ``REPRO_BENCH_EDGES`` overrides the size list directly, e.g.
@@ -250,15 +255,71 @@ def run_fusion_comparison() -> dict:
     }
 
 
+def run_fault_recovery() -> dict:
+    """Wall-clock overhead of recovering a faulted run vs a clean one.
+
+    The same growth-shaped pipeline runs twice on the threads backend:
+    once fault-free and once under a seeded plan injecting exceptions,
+    worker deaths and stragglers (horizon 2 < the default retry budget
+    of 3, so convergence is guaranteed).  The recovered dataset and the
+    simulated stage structure must be bit-identical — recovery is a
+    wall-clock-only phenomenon."""
+    from repro.engine import FaultPlan
+
+    rows = _shuffle_rows() // 4
+    plan = FaultPlan(
+        seed=29, p_exception=0.15, p_kill=0.1, p_straggler=0.05,
+        straggler_seconds=0.002, max_failures_per_task=2,
+    )
+    runs: dict[str, dict] = {}
+    structures: dict[str, list] = {}
+    for mode, fault_plan in (("clean", FaultPlan()), ("faulted", plan)):
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="threads", local_workers=max(2, os.cpu_count() or 1),
+            fault_plan=fault_plan, retry_backoff_seconds=0.001,
+        ) as ctx:
+            cols, wall = measure_wall(lambda: _fusion_pipeline(ctx, rows))
+            structures[mode] = _stage_structure(ctx)
+            h = hashlib.sha256()
+            for c in cols:
+                h.update(np.ascontiguousarray(c).tobytes())
+        runs[mode] = {
+            "wall_seconds": round(wall, 4),
+            "digest": h.hexdigest()[:16],
+            "tasks_failed": ctx.metrics.tasks_failed,
+            "tasks_retried": ctx.metrics.tasks_retried,
+            "tasks_speculated": ctx.metrics.tasks_speculated,
+            "recovery_recompute_bytes": ctx.metrics.recovery_recompute_bytes,
+        }
+    return {
+        "rows": rows,
+        "plan": plan.to_dict(),
+        "clean": runs["clean"],
+        "faulted": runs["faulted"],
+        "wall_faulted_over_clean": round(
+            runs["faulted"]["wall_seconds"]
+            / max(1e-9, runs["clean"]["wall_seconds"]),
+            3,
+        ),
+        "digests_match": runs["clean"]["digest"]
+        == runs["faulted"]["digest"],
+        "stage_structure_match": structures["clean"]
+        == structures["faulted"],
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
     shuffle = run_shuffle_memory()
     fusion = run_fusion_comparison()
+    recovery = run_fault_recovery()
     report = {
         "cpu_count": os.cpu_count(),
         "backends": backends,
         "distinct_shuffle_memory": shuffle,
         "stage_fusion": fusion,
+        "fault_recovery": recovery,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -294,6 +355,19 @@ def run_engine_wallclock(seed_bundle) -> dict:
         f"{fusion['mem_eager_over_fused']:.2f}x memory "
         f"(digests match: {fusion['digests_match']}, "
         f"stages match: {fusion['stage_structure_match']})"
+    )
+    faulted = recovery["faulted"]
+    print(
+        "\n== fault recovery "
+        f"({recovery['rows']:,} rows, threads backend) ==\n"
+        f"clean   : {recovery['clean']['wall_seconds']:.3f} s\n"
+        f"faulted : {faulted['wall_seconds']:.3f} s "
+        f"({recovery['wall_faulted_over_clean']:.2f}x), "
+        f"{faulted['tasks_failed']} failed / "
+        f"{faulted['tasks_retried']} retried, "
+        f"{faulted['recovery_recompute_bytes'] / 2**20:.1f} MiB recomputed "
+        f"(digests match: {recovery['digests_match']}, "
+        f"stages match: {recovery['stage_structure_match']})"
         f"\n\nwritten to {JSON_PATH}"
     )
     return report
@@ -333,6 +407,16 @@ def test_engine_wallclock(benchmark, seed_bundle):
         f"{fusion['wall_eager_over_fused']:.2f}x wall / "
         f"{fusion['mem_eager_over_fused']:.2f}x memory"
     )
+
+    # Fault recovery: identical dataset and simulated stages; the plan
+    # really injected failures.
+    recovery = report["fault_recovery"]
+    assert recovery["digests_match"], "recovery changed the dataset"
+    assert recovery["stage_structure_match"], (
+        "recovery changed the simulated stage structure"
+    )
+    assert recovery["faulted"]["tasks_failed"] > 0
+    assert recovery["clean"]["tasks_failed"] == 0
 
     # Parallel wall-clock win is only observable with real cores.
     if (os.cpu_count() or 1) >= 4 and not os.environ.get(

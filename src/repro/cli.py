@@ -80,6 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
         "results and simulated cluster metrics are identical, only "
         "wall-clock time and local peak memory change",
     )
+    p.add_argument(
+        "--faults", type=str, default=None, metavar="JSON",
+        help="deterministic fault-injection plan as JSON, e.g. "
+        '\'{"seed": 1, "p_exception": 0.1, "p_kill": 0.05}\' '
+        "(default: REPRO_FAULTS env var, then no injection); recovery "
+        "keeps results and simulated metrics bit-identical, only "
+        "wall-clock time and the recovery counters change",
+    )
+    p.add_argument(
+        "--max-task-retries", type=int, default=None,
+        help="retry budget per failed task before the run aborts "
+        "(default: REPRO_MAX_TASK_RETRIES env var, then 3)",
+    )
+    p.add_argument(
+        "--speculation", action="store_true", default=None,
+        help="speculatively re-execute straggler tasks, first result "
+        "wins (default: REPRO_SPECULATION env var, then off)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save-npz", type=Path, default=None)
     p.add_argument("--save-edges", type=Path, default=None)
@@ -150,6 +168,9 @@ def _cmd_generate(args) -> int:
         executor=args.executor,
         local_workers=args.workers,
         fusion=False if args.no_fusion else None,
+        fault_plan=args.faults,
+        max_task_retries=args.max_task_retries,
+        speculation=args.speculation,
     )
     if args.algorithm == "pgpba":
         gen = PGPBA(fraction=args.fraction, seed=args.seed)
@@ -176,6 +197,14 @@ def _cmd_generate(args) -> int:
         "peak node memory     : "
         f"{result.peak_node_memory_bytes / 2**20:.1f} MiB"
     )
+    m = ctx.metrics
+    if ctx.fault_plan is not None or m.tasks_failed or m.tasks_speculated:
+        print(
+            "fault recovery       : "
+            f"{m.tasks_failed} failed, {m.tasks_retried} retried, "
+            f"{m.tasks_speculated} speculated, "
+            f"{m.recovery_recompute_bytes / 2**20:.1f} MiB recomputed"
+        )
     if args.save_npz:
         result.graph.save_npz(args.save_npz)
         print(f"graph saved to {args.save_npz}")

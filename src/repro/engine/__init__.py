@@ -10,16 +10,38 @@ cluster: N compute nodes, a configurable executor-core count whose useful
 parallelism saturates (the paper measured 12 of 20 cores, Fig. 8), task
 waves, and per-node memory meters (Fig. 11).  Scalability figures are read
 from the simulated clock; veracity figures from the real data.
+
+Like its Spark original, the execution layer survives task failures:
+every batch runs through lineage-based recovery (retry from the
+narrowest persisted or source ancestor, optional speculative
+re-execution of stragglers), and a seeded
+:class:`~repro.engine.faults.FaultPlan` can deterministically inject
+exceptions, worker deaths and stragglers to prove recovery is
+bit-identical to the fault-free run.
 """
 
 from repro.engine.context import ClusterContext
 from repro.engine.executor import (
     Executor,
     ProcessExecutor,
+    RecoveryStats,
+    RemoteTaskError,
     SerialExecutor,
+    SpeculationPolicy,
+    TaskOutcome,
     ThreadExecutor,
+    WorkerDied,
     available_backends,
     make_executor,
+    run_with_recovery,
+)
+from repro.engine.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    SimulatedWorkerDeath,
+    resolve_max_task_retries,
+    resolve_speculation,
 )
 from repro.engine.plan import FUSION_ENV_VAR, resolve_fusion
 from repro.engine.rdd import ArrayRDD
@@ -30,6 +52,7 @@ __all__ = [
     "ClusterContext",
     "ArrayRDD",
     "FUSION_ENV_VAR",
+    "FAULTS_ENV_VAR",
     "resolve_fusion",
     "ClusterScheduler",
     "NodeSpec",
@@ -39,6 +62,17 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "TaskOutcome",
+    "SpeculationPolicy",
+    "RecoveryStats",
+    "WorkerDied",
+    "RemoteTaskError",
+    "run_with_recovery",
     "make_executor",
     "available_backends",
+    "FaultPlan",
+    "InjectedFault",
+    "SimulatedWorkerDeath",
+    "resolve_max_task_retries",
+    "resolve_speculation",
 ]

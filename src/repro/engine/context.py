@@ -17,15 +17,39 @@ pick the *real* execution backend partition tasks run on (see
 :mod:`repro.engine.executor`): simulated metrics are identical across
 backends because each task measures its own CPU cost; only wall-clock
 time changes.
+
+Every task batch is dispatched through the lineage-recovery layer
+(:func:`repro.engine.executor.run_with_recovery`): failed tasks are
+retried up to ``max_task_retries`` times with exponential backoff,
+recomputing only the lost partition's fused chain from its anchor
+(source or ``persist()``-ed) partitions.  A seeded
+:class:`~repro.engine.faults.FaultPlan` — ``fault_plan=`` argument, the
+``REPRO_FAULTS`` environment variable, or the CLI ``--faults`` flag —
+deterministically injects task failures, worker deaths and stragglers to
+exercise that path; ``speculation=True`` additionally re-executes
+stragglers with first-result-wins.  Recovery affects wall clock and the
+``metrics`` recovery counters only, never the simulated series.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.engine.executor import Executor, make_executor
+from repro.engine.executor import (
+    Executor,
+    RecoveryStats,
+    SpeculationPolicy,
+    make_executor,
+    run_with_recovery,
+)
+from repro.engine.faults import (
+    FaultPlan,
+    resolve_max_task_retries,
+    resolve_speculation,
+)
 from repro.engine.metrics import SimulationMetrics
 from repro.engine.partitioner import split_array, split_count
 from repro.engine.plan import resolve_fusion
@@ -52,6 +76,10 @@ class ClusterContext:
         executor: str | Executor | None = None,
         local_workers: int | None = None,
         fusion: bool | None = None,
+        fault_plan: FaultPlan | dict | str | None = None,
+        max_task_retries: int | None = None,
+        retry_backoff_seconds: float = 0.01,
+        speculation: bool | SpeculationPolicy | None = None,
     ) -> None:
         if partition_multiplier < 1:
             raise ValueError("partition_multiplier must be >= 1")
@@ -78,11 +106,43 @@ class ClusterContext:
             self.executor = executor
         else:
             self.executor = make_executor(executor, local_workers)
+        # Fault tolerance: explicit arguments > REPRO_FAULTS /
+        # REPRO_MAX_TASK_RETRIES / REPRO_SPECULATION env vars > defaults
+        # (no injection, 3 retries, no speculation).
+        self.fault_plan = FaultPlan.resolve(fault_plan)
+        self.max_task_retries = resolve_max_task_retries(max_task_retries)
+        if retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+        self.retry_backoff_seconds = retry_backoff_seconds
+        if isinstance(speculation, SpeculationPolicy):
+            self.speculation: SpeculationPolicy | None = speculation
+        else:
+            self.speculation = (
+                SpeculationPolicy() if resolve_speculation(speculation) else None
+            )
+        # Monotone batch counter keying each dispatched batch into the
+        # fault plan's deterministic decision stream.
+        self._batch_ids = itertools.count()
 
     # ------------------------------------------------------------------
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
-        """Dispatch a batch of partition tasks on the executor backend."""
-        return self.executor.run(tasks)
+        """Dispatch a batch of partition tasks on the executor backend,
+        with lineage-based retry of failed tasks (and deterministic fault
+        injection when a plan is configured)."""
+        stats = RecoveryStats()
+        try:
+            return run_with_recovery(
+                self.executor,
+                tasks,
+                fault_plan=self.fault_plan,
+                batch=next(self._batch_ids),
+                max_task_retries=self.max_task_retries,
+                backoff_seconds=self.retry_backoff_seconds,
+                speculation=self.speculation,
+                stats=stats,
+            )
+        finally:
+            self.metrics.record_recovery(stats)
 
     def close(self) -> None:
         """Release executor resources (worker pools); idempotent."""

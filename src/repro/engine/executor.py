@@ -21,36 +21,80 @@ Three backends are provided:
     which release the GIL, so threads give real parallelism without any
     serialisation cost.
 ``processes``
-    A fork-based process pool.  Tasks are *inherited* by the forked
+    Fork-per-task worker processes.  Tasks are *inherited* by the forked
     workers (copy-on-write), never pickled; result arrays travel back
     through ``multiprocessing.shared_memory`` segments so a
     multi-hundred-MB partition costs one memcpy instead of a pickle
     round-trip.  Requires the ``fork`` start method (Linux/macOS).
+    One process per task (rather than a shared pool) is what makes a
+    crashed worker survivable: the driver detects the death through the
+    process sentinel and fails only that task.
 
 Every RNG stream in the engine is keyed by ``(seed, partition_index)``
 and results are gathered in partition order, so all three backends
 produce bit-identical datasets for identical seeds (tested).
 
+Fault tolerance lives in two layers here:
+
+* :meth:`Executor.run_outcomes` runs a batch and reports one
+  :class:`TaskOutcome` per task instead of raising, so a single failed
+  partition no longer aborts its siblings.  Subclasses override *either*
+  :meth:`Executor.run` (simple backends — the base ``run_outcomes``
+  guards each task and dispatches through ``run``) *or*
+  ``run_outcomes`` natively (the process backend, which must observe
+  worker death, and the thread backend's speculative path).
+* :func:`run_with_recovery` drives rounds of ``run_outcomes`` with
+  per-task retry budgets and exponential backoff — the engine analogue
+  of Spark's lineage recomputation.  Because every engine task closure
+  captures its *materialised* anchor partitions (source arrays or
+  ``persist()``-ed blocks, see ``plan._make_fused_task``), re-running a
+  failed task IS recomputing the lost partition's fused chain from its
+  narrowest persisted or source ancestor; nothing else is touched.
+  Stragglers get speculative re-execution (:class:`SpeculationPolicy`)
+  with first-result-wins.
+
 Selection: ``ClusterContext(executor="threads", local_workers=8)``, or
 the environment variables ``REPRO_EXECUTOR`` / ``REPRO_LOCAL_WORKERS``
-when the constructor arguments are left unset.
+when the constructor arguments are left unset.  Executors are context
+managers (``with make_executor(...) as ex:``) and ``close()`` is
+idempotent; the process backend additionally reaps any leaked worker
+children at interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import multiprocessing as mp
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+import statistics
+import time
+import traceback
+import weakref
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence
 
 import numpy as np
+
+from .faults import FaultPlan
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "TaskOutcome",
+    "SpeculationPolicy",
+    "RecoveryStats",
+    "WorkerDied",
+    "RemoteTaskError",
+    "run_with_recovery",
     "make_executor",
     "available_backends",
     "resolve_backend",
@@ -70,12 +114,102 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class WorkerDied(RuntimeError):
+    """A worker process exited without reporting a result."""
+
+
+class RemoteTaskError(RuntimeError):
+    """Stand-in for a worker exception that could not be pickled back;
+    carries the original type name and formatted traceback as text."""
+
+
+@dataclass
+class TaskOutcome:
+    """Per-task result-or-error record returned by ``run_outcomes``."""
+
+    value: Any = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """When to launch a backup copy of a slow task (first result wins).
+
+    Once at least ``quantile`` of the batch has completed, any task still
+    running after ``max(min_runtime_seconds, multiplier * median)`` of
+    the completed durations is speculated once.  Mirrors Spark's
+    ``spark.speculation.{multiplier,quantile}`` knobs.
+    """
+
+    multiplier: float = 1.5
+    quantile: float = 0.5
+    min_runtime_seconds: float = 0.01
+    poll_interval_seconds: float = 0.005
+
+    def threshold(
+        self, durations: Sequence[float], n_total: int
+    ) -> float | None:
+        """Straggler cutoff, or ``None`` while too few tasks finished."""
+        need = max(1, math.ceil(self.quantile * n_total))
+        if len(durations) < need:
+            return None
+        return max(
+            self.min_runtime_seconds,
+            self.multiplier * statistics.median(durations),
+        )
+
+
+@dataclass
+class RecoveryStats:
+    """Counters produced by one :func:`run_with_recovery` batch."""
+
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_speculated: int = 0
+    recompute_bytes: int = 0
+
+
+def _guard(task: Task) -> Callable[[], TaskOutcome]:
+    """Turn a task into one that reports failure instead of raising."""
+
+    def guarded() -> TaskOutcome:
+        try:
+            return TaskOutcome(value=task())
+        except Exception as exc:  # noqa: BLE001 - outcome channel
+            return TaskOutcome(error=exc)
+
+    return guarded
+
+
+def _result_nbytes(obj: Any) -> int:
+    """Total ndarray payload bytes in a task result tree."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_result_nbytes(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_result_nbytes(v) for v in obj.values())
+    return 0
+
+
 class Executor:
     """Runs a batch of independent zero-argument tasks, preserving order.
 
-    ``run`` returns results positionally aligned with ``tasks`` no matter
-    in which order the backend completes them — the determinism contract
-    the RDD layer relies on.
+    Results are positionally aligned with ``tasks`` no matter in which
+    order the backend completes them — the determinism contract the RDD
+    layer relies on.  Subclasses must override at least one of ``run``
+    (raise-on-first-error values) or ``run_outcomes`` (per-task
+    :class:`TaskOutcome` records); each base method is implemented in
+    terms of the other.
     """
 
     name = "abstract"
@@ -85,12 +219,38 @@ class Executor:
         if workers < 1:
             raise ValueError("local_workers must be >= 1")
         self.workers = workers
+        self._closed = False
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
-        raise NotImplementedError
+        return [outcome.unwrap() for outcome in self.run_outcomes(tasks)]
+
+    def run_outcomes(
+        self,
+        tasks: Sequence[Task],
+        *,
+        speculation: SpeculationPolicy | None = None,
+        speculative_tasks: Sequence[Task] | None = None,
+        on_speculate: Callable[[int], None] | None = None,
+    ) -> list[TaskOutcome]:
+        """Run a batch, one :class:`TaskOutcome` per task.
+
+        ``speculative_tasks`` are clean backup copies, positionally
+        aligned with ``tasks``; backends that cannot observe in-flight
+        tasks (this base implementation, used by ``serial``) ignore
+        speculation — it is an optimisation, never a correctness hook.
+        """
+        del speculation, speculative_tasks, on_speculate
+        return list(self.run([_guard(task) for task in tasks]))
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(workers={self.workers})"
@@ -103,6 +263,24 @@ class SerialExecutor(Executor):
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
         return [task() for task in tasks]
+
+
+class _TimedCall:
+    """Callable wrapper recording its own start time and duration, so
+    speculation only considers tasks that actually started running."""
+
+    __slots__ = ("fn", "started", "duration")
+
+    def __init__(self, fn: Callable[[], TaskOutcome]) -> None:
+        self.fn = fn
+        self.started: float | None = None
+        self.duration: float | None = None
+
+    def __call__(self) -> TaskOutcome:
+        self.started = time.monotonic()
+        outcome = self.fn()
+        self.duration = time.monotonic() - self.started
+        return outcome
 
 
 class ThreadExecutor(Executor):
@@ -126,21 +304,79 @@ class ThreadExecutor(Executor):
             return [task() for task in tasks]
         return list(self._ensure_pool().map(lambda task: task(), tasks))
 
+    def run_outcomes(
+        self,
+        tasks: Sequence[Task],
+        *,
+        speculation: SpeculationPolicy | None = None,
+        speculative_tasks: Sequence[Task] | None = None,
+        on_speculate: Callable[[int], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if speculation is None or len(tasks) <= 1 or self.workers == 1:
+            return super().run_outcomes(tasks)
+        return self._run_speculative(
+            tasks, speculation, speculative_tasks or tasks, on_speculate
+        )
+
+    def _run_speculative(
+        self,
+        tasks: Sequence[Task],
+        policy: SpeculationPolicy,
+        duplicates: Sequence[Task],
+        on_speculate: Callable[[int], None] | None,
+    ) -> list[TaskOutcome]:
+        n = len(tasks)
+        pool = self._ensure_pool()
+        outcomes: list[TaskOutcome | None] = [None] * n
+        durations: list[float] = []
+        speculated: set[int] = set()
+        futures: dict[Any, tuple[int, _TimedCall]] = {}
+        for i, task in enumerate(tasks):
+            call = _TimedCall(_guard(task))
+            futures[pool.submit(call)] = (i, call)
+        while any(o is None for o in outcomes):
+            done, _ = futures_wait(
+                list(futures),
+                timeout=policy.poll_interval_seconds,
+                return_when=FIRST_COMPLETED,
+            )
+            for fut in done:
+                i, call = futures.pop(fut)
+                outcome = fut.result()  # guarded: never raises
+                if outcomes[i] is None:
+                    outcomes[i] = outcome
+                    if call.duration is not None:
+                        durations.append(call.duration)
+            threshold = policy.threshold(durations, n)
+            if threshold is None:
+                continue
+            now = time.monotonic()
+            for fut, (i, call) in list(futures.items()):
+                if (
+                    outcomes[i] is None
+                    and i not in speculated
+                    and call.started is not None
+                    and now - call.started > threshold
+                ):
+                    speculated.add(i)
+                    backup = _TimedCall(_guard(duplicates[i]))
+                    futures[pool.submit(backup)] = (i, backup)
+                    if on_speculate is not None:
+                        on_speculate(i)
+        # Loser duplicates still queued or running are abandoned: their
+        # results are pure values with no external resources to release.
+        return outcomes  # type: ignore[return-value]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        super().close()
 
 
 # ----------------------------------------------------------------------
-# Process backend: fork-inherited tasks, shared-memory result transport.
+# Process backend: fork-per-task workers, shared-memory result transport.
 # ----------------------------------------------------------------------
-
-# Forked workers read the task batch from this module global instead of
-# receiving pickled closures (most of the engine's task closures capture
-# un-picklable local functions and large partition arrays; fork shares
-# both copy-on-write).
-_FORK_TASKS: Sequence[Task] | None = None
 
 # Arrays smaller than this ride the normal pickle channel; the fixed cost
 # of creating/opening a shared-memory segment only pays off above it.
@@ -202,12 +438,91 @@ def _unpack(obj: Any) -> Any:
     return obj
 
 
-def _fork_worker(index: int) -> Any:
-    return _pack(_FORK_TASKS[index]())
+def _discard_packed(obj: Any) -> None:
+    """Release a packed result without materialising it — used to drain
+    the losing copy of a speculated task so its segments don't leak."""
+    if isinstance(obj, _ShmArray):
+        try:
+            seg = shared_memory.SharedMemory(name=obj.segment)
+        except FileNotFoundError:  # already unlinked
+            return
+        seg.close()
+        seg.unlink()
+    elif isinstance(obj, (tuple, list)):
+        for item in obj:
+            _discard_packed(item)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            _discard_packed(item)
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a text stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickle failure
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return RemoteTaskError(f"{type(exc).__name__}: {exc}\n{detail}")
+
+
+def _child_main(fn: Task, conn: mp_connection.Connection) -> None:
+    """Worker-child body: run one task, report, exit immediately.
+
+    ``os._exit`` skips the forked interpreter's atexit/cleanup machinery
+    on purpose — the child must never run driver-side teardown.  An
+    injected "kill" never reaches the send: the task itself ``os._exit``s
+    with a nonzero code and the driver sees a silent death.
+    """
+    status = 0
+    try:
+        try:
+            value = fn()
+        except BaseException as exc:  # noqa: BLE001 - outcome channel
+            conn.send(("err", _picklable_error(exc)))
+        else:
+            conn.send(("ok", _pack(value)))
+        conn.close()
+    except BaseException:  # pragma: no cover - broken pipe to driver
+        status = 1
+    finally:
+        os._exit(status)
+
+
+@dataclass
+class _Child:
+    """Driver-side record of one in-flight worker process."""
+
+    index: int
+    proc: Any
+    conn: mp_connection.Connection
+    started: float
+    speculative: bool = False
+
+
+# Process executors with possibly-live children, reaped at interpreter
+# exit so an aborted run can't leave orphan workers behind.
+_LIVE_PROCESS_EXECUTORS: "weakref.WeakSet[ProcessExecutor]" = weakref.WeakSet()
+_REAPER_REGISTERED = False
+
+
+def _reap_leaked_children() -> None:
+    for executor in list(_LIVE_PROCESS_EXECUTORS):
+        executor.close()
 
 
 class ProcessExecutor(Executor):
-    """Fork-based process pool with shared-memory result transport."""
+    """Fork-per-task process backend with shared-memory result transport.
+
+    Each task runs in its own forked child (inheriting the task closure
+    copy-on-write), reporting through a dedicated pipe; the driver waits
+    on both the pipe and the process *sentinel*, so a child that dies
+    without reporting — a crash, an injected kill — surfaces as a
+    :class:`WorkerDied` outcome for that one task instead of hanging or
+    aborting the batch.
+    """
 
     name = "processes"
 
@@ -218,11 +533,73 @@ class ProcessExecutor(Executor):
                 "the 'processes' backend needs the fork start method "
                 "(unavailable on this platform); use 'threads' instead"
             )
+        self._children: set[Any] = set()
+        global _REAPER_REGISTERED
+        _LIVE_PROCESS_EXECUTORS.add(self)
+        if not _REAPER_REGISTERED:
+            atexit.register(_reap_leaked_children)
+            _REAPER_REGISTERED = True
 
-    def run(self, tasks: Sequence[Task]) -> list[Any]:
+    def run_outcomes(
+        self,
+        tasks: Sequence[Task],
+        *,
+        speculation: SpeculationPolicy | None = None,
+        speculative_tasks: Sequence[Task] | None = None,
+        on_speculate: Callable[[int], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if not tasks:
+            return []
         if len(tasks) <= 1 or self.workers == 1:
-            return [task() for task in tasks]
-        global _FORK_TASKS
+            # In-driver fallback: injected kills degrade to
+            # SimulatedWorkerDeath (see FaultPlan.wrap), handled the same
+            # way by the recovery layer.
+            return [_guard(task)() for task in tasks]
+        return self._run_forked(
+            tasks, speculation, speculative_tasks or tasks, on_speculate
+        )
+
+    # ------------------------------------------------------------------
+    def _spawn(
+        self, ctx: Any, index: int, fn: Task, *, speculative: bool
+    ) -> _Child:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main, args=(fn, send_conn), daemon=True
+        )
+        proc.start()
+        send_conn.close()
+        self._children.add(proc)
+        return _Child(
+            index=index,
+            proc=proc,
+            conn=recv_conn,
+            started=time.monotonic(),
+            speculative=speculative,
+        )
+
+    def _retire(self, child: _Child, *, kill: bool = False) -> None:
+        """Drain, stop and reap one child (used for losers and cleanup)."""
+        try:
+            if child.conn.poll(0.05 if kill else 0):
+                tag, payload = child.conn.recv()
+                if tag == "ok":
+                    _discard_packed(payload)
+        except (EOFError, OSError):
+            pass
+        if kill and child.proc.is_alive():
+            child.proc.terminate()
+        child.proc.join(timeout=5.0)
+        child.conn.close()
+        self._children.discard(child.proc)
+
+    def _run_forked(
+        self,
+        tasks: Sequence[Task],
+        policy: SpeculationPolicy | None,
+        duplicates: Sequence[Task],
+        on_speculate: Callable[[int], None] | None,
+    ) -> list[TaskOutcome]:
         # Start the resource tracker *before* forking so parent and
         # workers share one tracker: segments registered by a worker at
         # create are unregistered by the driver's unlink, and nothing is
@@ -231,18 +608,225 @@ class ProcessExecutor(Executor):
 
         resource_tracker.ensure_running()
         ctx = mp.get_context("fork")
-        _FORK_TASKS = tasks
+        n = len(tasks)
+        outcomes: list[TaskOutcome | None] = [None] * n
+        held_errors: dict[int, BaseException] = {}
+        durations: list[float] = []
+        speculated: set[int] = set()
+        pending: deque[int] = deque(range(n))
+        active: list[_Child] = []
         try:
-            # A fresh pool per batch: workers must fork *after* the task
-            # batch is installed so they inherit it. chunksize=1 keeps
-            # long-tail partitions from serialising behind short ones.
-            with ctx.Pool(processes=min(self.workers, len(tasks))) as pool:
-                packed = pool.map(
-                    _fork_worker, range(len(tasks)), chunksize=1
+            while any(o is None for o in outcomes):
+                while pending and len(active) < self.workers:
+                    i = pending.popleft()
+                    active.append(
+                        self._spawn(ctx, i, tasks[i], speculative=False)
+                    )
+                waitmap: dict[Any, _Child] = {}
+                for child in active:
+                    waitmap[child.conn] = child
+                    waitmap[child.proc.sentinel] = child
+                timeout = (
+                    policy.poll_interval_seconds if policy is not None else None
                 )
+                ready = mp_connection.wait(list(waitmap), timeout=timeout)
+                handled: set[int] = set()
+                for obj in ready:
+                    child = waitmap[obj]
+                    if id(child) in handled:
+                        continue
+                    handled.add(id(child))
+                    self._complete(child, outcomes, held_errors, durations, active)
+                if policy is None:
+                    continue
+                threshold = policy.threshold(durations, n)
+                if threshold is None:
+                    continue
+                now = time.monotonic()
+                for child in list(active):
+                    if (
+                        not child.speculative
+                        and child.index not in speculated
+                        and outcomes[child.index] is None
+                        and now - child.started > threshold
+                        and len(active) < self.workers
+                    ):
+                        speculated.add(child.index)
+                        active.append(
+                            self._spawn(
+                                ctx,
+                                child.index,
+                                duplicates[child.index],
+                                speculative=True,
+                            )
+                        )
+                        if on_speculate is not None:
+                            on_speculate(child.index)
         finally:
-            _FORK_TASKS = None
-        return [_unpack(p) for p in packed]
+            for child in list(active):
+                self._retire(child, kill=True)
+        return outcomes  # type: ignore[return-value]
+
+    def _complete(
+        self,
+        child: _Child,
+        outcomes: list[TaskOutcome | None],
+        held_errors: dict[int, BaseException],
+        durations: list[float],
+        active: list[_Child],
+    ) -> None:
+        """Absorb one ready child: a result, an error, or a death."""
+        msg = None
+        try:
+            if child.conn.poll():
+                msg = child.conn.recv()
+        except (EOFError, OSError):
+            msg = None
+        active.remove(child)
+        child.proc.join(timeout=5.0)
+        child.conn.close()
+        self._children.discard(child.proc)
+        i = child.index
+        if msg is not None and msg[0] == "ok":
+            if outcomes[i] is None:
+                outcomes[i] = TaskOutcome(value=_unpack(msg[1]))
+                durations.append(time.monotonic() - child.started)
+            else:  # losing copy of a speculated task
+                _discard_packed(msg[1])
+            return
+        if msg is not None:  # ("err", exception)
+            held_errors[i] = msg[1]
+        else:
+            exitcode = child.proc.exitcode
+            held_errors.setdefault(
+                i,
+                WorkerDied(
+                    f"worker for task {i} exited with code {exitcode} "
+                    "before reporting a result"
+                ),
+            )
+        # Only conclude failure once no other copy of the task is still
+        # running (a speculative duplicate may yet succeed).
+        if outcomes[i] is None and not any(c.index == i for c in active):
+            outcomes[i] = TaskOutcome(error=held_errors[i])
+
+    def close(self) -> None:
+        for proc in list(self._children):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            self._children.discard(proc)
+        super().close()
+
+
+# ----------------------------------------------------------------------
+# Lineage-based recovery: retry rounds with backoff over run_outcomes.
+# ----------------------------------------------------------------------
+
+def run_with_recovery(
+    executor: Executor,
+    tasks: Sequence[Task],
+    *,
+    fault_plan: FaultPlan | None = None,
+    batch: int = 0,
+    max_task_retries: int = 3,
+    backoff_seconds: float = 0.01,
+    speculation: SpeculationPolicy | None = None,
+    stats: RecoveryStats | None = None,
+) -> list[Any]:
+    """Run a task batch, retrying failed tasks from lineage.
+
+    Each engine task closure captures its materialised anchor partitions
+    (source arrays or ``persist()``-ed blocks), so re-invoking a failed
+    task recomputes exactly the lost partition's fused operator chain
+    from its narrowest persisted or source ancestor — the Spark recovery
+    model at batch granularity.  A task may fail up to
+    ``max_task_retries`` times; rounds are separated by exponential
+    backoff (``backoff_seconds * 2**(round-1)``, capped at 1s).  When the
+    budget is exhausted the *original* exception is re-raised.
+
+    ``fault_plan`` wraps each attempt with its deterministic injection
+    verdict (attempt numbers advance per failure, so a plan with
+    ``max_failures_per_task <= max_task_retries`` always converges);
+    speculative duplicates are dispatched at the injection horizon and
+    therefore always run clean.
+    """
+    n = len(tasks)
+    if n == 0:
+        return []
+    plan = (
+        fault_plan
+        if fault_plan is not None and not fault_plan.is_zero
+        else None
+    )
+    driver_pid = os.getpid()
+    if stats is None:
+        stats = RecoveryStats()
+    results: list[Any] = [None] * n
+    failures = [0] * n
+    pending = list(range(n))
+    round_no = 0
+    while pending:
+        if round_no > 0:
+            time.sleep(min(backoff_seconds * (2 ** (round_no - 1)), 1.0))
+        if plan is not None:
+            wrapped = [
+                plan.wrap(
+                    tasks[i],
+                    batch=batch,
+                    index=i,
+                    attempt=failures[i],
+                    driver_pid=driver_pid,
+                )
+                for i in pending
+            ]
+            backups = [
+                plan.wrap(
+                    tasks[i],
+                    batch=batch,
+                    index=i,
+                    attempt=plan.max_failures_per_task,
+                    driver_pid=driver_pid,
+                )
+                for i in pending
+            ]
+        else:
+            wrapped = [tasks[i] for i in pending]
+            backups = wrapped
+
+        def _count_speculation(_index: int) -> None:
+            stats.tasks_speculated += 1
+
+        outcomes = executor.run_outcomes(
+            wrapped,
+            speculation=speculation,
+            speculative_tasks=backups,
+            on_speculate=_count_speculation,
+        )
+        next_pending: list[int] = []
+        for pos, i in enumerate(pending):
+            outcome = outcomes[pos]
+            if outcome.ok:
+                results[i] = outcome.value
+                if round_no > 0:
+                    stats.recompute_bytes += _result_nbytes(outcome.value)
+                continue
+            stats.tasks_failed += 1
+            failures[i] += 1
+            if failures[i] > max_task_retries:
+                error = outcome.error
+                if hasattr(error, "add_note"):
+                    error.add_note(
+                        f"task {i} of batch {batch} failed {failures[i]} "
+                        f"time(s); max_task_retries={max_task_retries} "
+                        "exhausted"
+                    )
+                raise error
+            stats.tasks_retried += 1
+            next_pending.append(i)
+        pending = next_pending
+        round_no += 1
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -274,14 +858,17 @@ def _resolve_workers(workers: int | None) -> int | None:
     if workers is not None:
         return workers
     env = os.environ.get(WORKERS_ENV_VAR)
-    if env:
-        try:
-            return int(env)
-        except ValueError as exc:
-            raise ValueError(
-                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
-            ) from exc
-    return None
+    if env is None or not env.strip():
+        return None
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {env!r}")
+    return value
 
 
 def make_executor(

@@ -10,6 +10,14 @@ engine: every pinned RDD registers its resident bytes at
 materialization and releases them on ``unpersist()``, so
 ``persisted_bytes`` / ``peak_persisted_bytes`` expose how much dataset
 the generators keep live across loop iterations.
+
+Fault recovery is metered separately from the simulated series: the
+recovery layer (:func:`repro.engine.executor.run_with_recovery`) reports
+``tasks_failed`` / ``tasks_retried`` / ``tasks_speculated`` /
+``recovery_recompute_bytes`` per batch via :meth:`SimulationMetrics.
+record_recovery`.  These counters never feed the scheduler, so the
+Fig. 8-12 stage records and makespans are byte-identical whether a run
+recovered from faults or saw none (asserted in tests).
 """
 
 from __future__ import annotations
@@ -45,6 +53,10 @@ class SimulationMetrics:
     node_peak_bytes: np.ndarray = None
     persisted_rdd_bytes: dict = field(default_factory=dict)
     peak_persisted_bytes: int = 0
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_speculated: int = 0
+    recovery_recompute_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.node_busy_seconds is None:
@@ -77,6 +89,17 @@ class SimulationMetrics:
             )
         self.node_resident_bytes = per_node
         self.node_peak_bytes = np.maximum(self.node_peak_bytes, per_node)
+
+    # ------------------------------------------------------------------
+    def record_recovery(self, stats) -> None:
+        """Fold one batch's :class:`~repro.engine.executor.RecoveryStats`
+        into the recovery counters.  Recovery is wall-clock-only: these
+        numbers never reach the scheduler or the task records, so the
+        simulated Fig. 8-12 series are unaffected by faults."""
+        self.tasks_failed += stats.tasks_failed
+        self.tasks_retried += stats.tasks_retried
+        self.tasks_speculated += stats.tasks_speculated
+        self.recovery_recompute_bytes += stats.recompute_bytes
 
     # ------------------------------------------------------------------
     def register_persist(self, key: int, nbytes: int) -> None:

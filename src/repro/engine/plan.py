@@ -37,6 +37,14 @@ partitions, never the intermediates of its lineage.  Forking two lazy
 branches off one unforced, unpersisted RDD therefore re-runs the shared
 prefix (and honestly re-charges it to the simulated clock); ``persist()``
 the branch point to compute it once and account its resident bytes.
+
+The same anchoring is what makes fault recovery lineage-based: a fused
+task closure captures its *materialized* anchor columns, so when the
+recovery layer (:func:`repro.engine.executor.run_with_recovery`) re-runs
+a failed task it recomputes exactly the lost partition's chain from its
+narrowest persisted or source ancestor — sibling partitions and already
+persisted data are never touched, and ``persist()`` doubles as the
+recovery checkpoint.
 """
 
 from __future__ import annotations

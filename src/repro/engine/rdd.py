@@ -28,6 +28,14 @@ but *not* its lineage intermediates — fork two lazy branches off one
 unforced RDD and the shared prefix recomputes (and is re-charged to the
 simulated clock); persist the branch point to avoid that, as the
 generators do at their loop boundaries.
+
+The "resilient" in the name is earned at the execution layer: every task
+batch an action dispatches goes through
+:func:`~repro.engine.executor.run_with_recovery`, so a failed or killed
+task is retried from its captured anchor partitions — recomputing only
+the lost partition's chain from its narrowest persisted or source
+ancestor.  ``persist()`` therefore doubles as the recovery checkpoint,
+exactly as caching does in Spark.
 """
 
 from __future__ import annotations

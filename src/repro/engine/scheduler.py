@@ -93,6 +93,11 @@ class ClusterScheduler:
         """
         cpu_seconds = np.asarray(cpu_seconds, dtype=np.float64)
         bytes_out = np.asarray(bytes_out, dtype=np.int64)
+        if cpu_seconds.shape != bytes_out.shape:
+            raise ValueError(
+                "cpu_seconds and bytes_out must be aligned per task, got "
+                f"shapes {cpu_seconds.shape} and {bytes_out.shape}"
+            )
         n_tasks = cpu_seconds.size
         if n_tasks == 0:
             return 0.0, []

@@ -18,6 +18,7 @@ import pytest
 from repro.core import PGPBA, PGSK
 from repro.engine import ClusterContext, FUSION_ENV_VAR, resolve_fusion
 from repro.engine.executor import SerialExecutor
+from repro.engine.faults import FaultPlan
 
 
 class CountingExecutor(SerialExecutor):
@@ -38,6 +39,10 @@ class CountingExecutor(SerialExecutor):
 
 def counting_ctx(**kwargs):
     ex = CountingExecutor()
+    # An explicit zero fault plan: these tests assert exact batch/task
+    # dispatch counts, which injected failures (e.g. a REPRO_FAULTS
+    # chaos environment) would legitimately inflate with retry rounds.
+    kwargs.setdefault("fault_plan", FaultPlan())
     ctx = ClusterContext(n_nodes=2, executor=ex, **kwargs)
     return ctx, ex
 
