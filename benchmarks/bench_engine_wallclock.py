@@ -20,7 +20,12 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   ``FaultPlan`` (exceptions + killed workers + stragglers) versus
   fault-free, asserting the recovered run produced the byte-identical
   dataset and identical simulated stage structure, and reporting the
-  wall-clock overhead plus the recovery counters.
+  wall-clock overhead plus the recovery counters;
+* the block-store spill path: a 10^7-row grow/distinct pipeline under an
+  unlimited memory budget versus a 64 MiB one, asserting byte-identical
+  datasets and stage structures while the budgeted run's peak
+  tracemalloc stays near the budget and the overflow lands on disk
+  (reported: peaks, disk high-water, spill/reload counts, wall ratio).
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized smoke run
 (~30 s); ``REPRO_BENCH_EDGES`` overrides the size list directly, e.g.
@@ -309,17 +314,126 @@ def run_fault_recovery() -> dict:
     }
 
 
+def _spill_rows() -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 1_000_000
+    return 10_000_000
+
+
+def _spill_budget() -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 8 * 2**20
+    return 64 * 2**20
+
+
+def _spill_pipeline(ctx: ClusterContext, rows: int):
+    """Grow/distinct at scale: per-partition generation (the driver never
+    builds the input), a x2 expansion, then the hash-exchange shuffle.
+    Returns the distinct RDD without collecting it — collecting would
+    re-materialize the whole dataset in the driver and mask the budget."""
+
+    def _make(count, pidx):
+        rng = np.random.default_rng((41, pidx))
+        return (
+            rng.integers(0, rows // 4, size=count, dtype=np.int64),
+            rng.integers(0, rows // 4, size=count, dtype=np.int64),
+        )
+
+    base = ctx.generate(rows, _make, stage="spill:make")
+    grown = base.map_partitions(
+        lambda c, p: (np.repeat(c[0], 2), np.repeat(c[1], 2)),
+        stage="spill:grow",
+    )
+    return grown.distinct(
+        key_columns=(0, 1), stage="spill:distinct", shuffle="exchange"
+    )
+
+
+def _spill_digest(rdd) -> str:
+    """Order-sensitive dataset digest, one partition resident at a time."""
+    h = hashlib.sha256()
+    for i in range(rdd.n_partitions):
+        for c in rdd._partition(i):
+            h.update(np.ascontiguousarray(c).tobytes())
+    return h.hexdigest()[:16]
+
+
+def run_storage_spill() -> dict:
+    """Driver memory of grow/distinct under a block-store budget vs
+    unlimited.  Wall and tracemalloc are measured in separate runs (the
+    allocation hooks would skew the timed pass); the budgeted run must
+    produce the byte-identical dataset and the identical simulated stage
+    structure while keeping peak driver memory near the budget, with the
+    overflow on disk."""
+    rows = _spill_rows()
+    budget = _spill_budget()
+    modes: dict[str, dict] = {}
+    structures: dict[str, list] = {}
+    for mode, budget_bytes in (("unlimited", None), ("budgeted", budget)):
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", memory_budget_bytes=budget_bytes,
+        ) as ctx:
+            final, wall = measure_wall(lambda: _spill_pipeline(ctx, rows))
+            structures[mode] = _stage_structure(ctx)
+            digest = _spill_digest(final)
+            part_bytes = int(final.partition_bytes().max(initial=0))
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", memory_budget_bytes=budget_bytes,
+        ) as ctx_mem:
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            _spill_pipeline(ctx_mem, rows)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            m = ctx_mem.metrics
+            disk_high_water = m.storage_disk_high_water_bytes
+            spills, reloads = m.storage_spill_count, m.storage_reload_count
+        modes[mode] = {
+            "wall_seconds": round(wall, 4),
+            "peak_tracemalloc_bytes": int(peak),
+            "disk_high_water_bytes": int(disk_high_water),
+            "spill_count": int(spills),
+            "reload_count": int(reloads),
+            "max_partition_bytes": part_bytes,
+            "digest": digest,
+        }
+    return {
+        "rows": rows,
+        "budget_bytes": budget,
+        "unlimited": modes["unlimited"],
+        "budgeted": modes["budgeted"],
+        "wall_budgeted_over_unlimited": round(
+            modes["budgeted"]["wall_seconds"]
+            / max(1e-9, modes["unlimited"]["wall_seconds"]),
+            3,
+        ),
+        "mem_unlimited_over_budgeted": round(
+            modes["unlimited"]["peak_tracemalloc_bytes"]
+            / max(1, modes["budgeted"]["peak_tracemalloc_bytes"]),
+            3,
+        ),
+        "digests_match": modes["unlimited"]["digest"]
+        == modes["budgeted"]["digest"],
+        "stage_structure_match": structures["unlimited"]
+        == structures["budgeted"],
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
     shuffle = run_shuffle_memory()
     fusion = run_fusion_comparison()
     recovery = run_fault_recovery()
+    spill = run_storage_spill()
     report = {
         "cpu_count": os.cpu_count(),
         "backends": backends,
         "distinct_shuffle_memory": shuffle,
         "stage_fusion": fusion,
         "fault_recovery": recovery,
+        "storage_spill": spill,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -368,6 +482,25 @@ def run_engine_wallclock(seed_bundle) -> dict:
         f"{faulted['recovery_recompute_bytes'] / 2**20:.1f} MiB recomputed "
         f"(digests match: {recovery['digests_match']}, "
         f"stages match: {recovery['stage_structure_match']})"
+    )
+    budgeted = spill["budgeted"]
+    print(
+        "\n== storage spill: grow/distinct "
+        f"({spill['rows']:,} rows, serial backend, "
+        f"{spill['budget_bytes'] / 2**20:.0f} MiB budget) ==\n"
+        f"unlimited : {spill['unlimited']['wall_seconds']:.3f} s  "
+        f"{spill['unlimited']['peak_tracemalloc_bytes'] / 2**20:8.1f} MiB "
+        f"peak, {spill['unlimited']['disk_high_water_bytes'] / 2**20:.1f} "
+        "MiB disk\n"
+        f"budgeted  : {budgeted['wall_seconds']:.3f} s  "
+        f"{budgeted['peak_tracemalloc_bytes'] / 2**20:8.1f} MiB peak, "
+        f"{budgeted['disk_high_water_bytes'] / 2**20:.1f} MiB disk "
+        f"({budgeted['spill_count']} spills / "
+        f"{budgeted['reload_count']} reloads)\n"
+        f"ratio     : {spill['wall_budgeted_over_unlimited']:.2f}x wall, "
+        f"{spill['mem_unlimited_over_budgeted']:.2f}x memory saved "
+        f"(digests match: {spill['digests_match']}, "
+        f"stages match: {spill['stage_structure_match']})"
         f"\n\nwritten to {JSON_PATH}"
     )
     return report
@@ -417,6 +550,30 @@ def test_engine_wallclock(benchmark, seed_bundle):
     )
     assert recovery["faulted"]["tasks_failed"] > 0
     assert recovery["clean"]["tasks_failed"] == 0
+
+    # Storage spill: identical dataset and simulated stages under the
+    # budget; the budgeted run keeps driver memory near the budget (plus
+    # a transient-allocation allowance) with the overflow on disk, while
+    # the unlimited run never touches disk.
+    spill = report["storage_spill"]
+    assert spill["digests_match"], "the memory budget changed the dataset"
+    assert spill["stage_structure_match"], (
+        "the memory budget changed the simulated stage structure"
+    )
+    budgeted, unlimited = spill["budgeted"], spill["unlimited"]
+    assert budgeted["spill_count"] > 0
+    assert budgeted["disk_high_water_bytes"] > 0
+    assert unlimited["disk_high_water_bytes"] == 0
+    assert (
+        budgeted["peak_tracemalloc_bytes"]
+        < unlimited["peak_tracemalloc_bytes"]
+    ), "budgeted run should peak below the unlimited run"
+    allowance = max(32 * 2**20, 8 * budgeted["max_partition_bytes"])
+    ceiling = spill["budget_bytes"] + allowance
+    assert budgeted["peak_tracemalloc_bytes"] <= ceiling, (
+        f"budgeted peak {budgeted['peak_tracemalloc_bytes']:,} exceeds "
+        f"budget + allowance {ceiling:,}"
+    )
 
     # Parallel wall-clock win is only observable with real cores.
     if (os.cpu_count() or 1) >= 4 and not os.environ.get(

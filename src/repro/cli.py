@@ -8,7 +8,10 @@ this module provides the equivalent:
 * ``generate`` — grow a synthetic property graph (PGPBA or PGSK) and save
   it as .npz and/or an attribute-bearing edge list;
 * ``detect``   — run the Fig. 4 anomaly detector over a pcap capture;
-* ``veracity`` — score a generated graph against its seed.
+* ``veracity`` — score a generated graph against its seed;
+* ``engine-info`` — print the resolved engine configuration (backend,
+  workers, fusion, fault plan, memory budget, spill dir) with the source
+  of each setting, for debugging env-vs-flag precedence.
 
 Usage: ``python -m repro.cli <command> --help``.
 """
@@ -16,6 +19,7 @@ Usage: ``python -m repro.cli <command> --help``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -24,39 +28,8 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the top-level argument parser with all sub-commands."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Property-graph synthetic data generators for IDS "
-        "benchmarking (CLUSTER 2017 reproduction)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("synth", help="synthesize a pcap seed trace")
-    p.add_argument("output", type=Path, help="pcap file to write")
-    p.add_argument("--duration", type=float, default=30.0)
-    p.add_argument("--session-rate", type=float, default=50.0)
-    p.add_argument("--clients", type=int, default=200)
-    p.add_argument("--servers", type=int, default=40)
-    p.add_argument("--seed", type=int, default=7)
-
-    p = sub.add_parser("analyze", help="build + summarise the seed graph")
-    p.add_argument("pcap", type=Path, help="input pcap capture")
-    p.add_argument(
-        "--save", type=Path, default=None,
-        help="write the seed property graph to this .npz",
-    )
-
-    p = sub.add_parser("generate", help="generate a synthetic graph")
-    p.add_argument("pcap", type=Path, help="seed pcap capture")
-    p.add_argument(
-        "--algorithm", choices=("pgpba", "pgsk"), default="pgpba"
-    )
-    p.add_argument("--edges", type=int, required=True,
-                   help="desired synthetic size in edges")
-    p.add_argument("--fraction", type=float, default=0.1,
-                   help="PGPBA growth fraction")
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """Engine/runtime flags shared by ``generate`` and ``engine-info``."""
     p.add_argument("--nodes", type=int, default=1,
                    help="simulated cluster size")
     p.add_argument("--cores", type=int, default=12,
@@ -98,9 +71,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="speculatively re-execute straggler tasks, first result "
         "wins (default: REPRO_SPECULATION env var, then off)",
     )
+    p.add_argument(
+        "--memory-budget", type=str, default=None, metavar="SIZE",
+        help="cap on memory-resident partition blocks, e.g. '64MB' or "
+        "'none' (default: REPRO_MEMORY_BUDGET env var, then unlimited); "
+        "excess blocks spill to the spill dir and reload transparently — "
+        "results and simulated metrics are byte-identical under any "
+        "budget, only wall-clock time and disk usage change",
+    )
+    p.add_argument(
+        "--spill-dir", type=str, default=None, metavar="DIR",
+        help="base directory for spilled blocks, shuffle segments and "
+        "checkpoints (default: REPRO_SPILL_DIR env var, then the system "
+        "tempdir); each run uses its own session subdirectory, removed "
+        "on close",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Property-graph synthetic data generators for IDS "
+        "benchmarking (CLUSTER 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="synthesize a pcap seed trace")
+    p.add_argument("output", type=Path, help="pcap file to write")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--session-rate", type=float, default=50.0)
+    p.add_argument("--clients", type=int, default=200)
+    p.add_argument("--servers", type=int, default=40)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("analyze", help="build + summarise the seed graph")
+    p.add_argument("pcap", type=Path, help="input pcap capture")
+    p.add_argument(
+        "--save", type=Path, default=None,
+        help="write the seed property graph to this .npz",
+    )
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("pcap", type=Path, help="seed pcap capture")
+    p.add_argument(
+        "--algorithm", choices=("pgpba", "pgsk"), default="pgpba"
+    )
+    p.add_argument("--edges", type=int, required=True,
+                   help="desired synthetic size in edges")
+    p.add_argument("--fraction", type=float, default=0.1,
+                   help="PGPBA growth fraction")
+    _add_engine_args(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save-npz", type=Path, default=None)
     p.add_argument("--save-edges", type=Path, default=None)
+
+    p = sub.add_parser(
+        "engine-info",
+        help="print the resolved engine configuration and where each "
+        "setting came from (flag, environment variable, or default)",
+    )
+    _add_engine_args(p)
 
     p = sub.add_parser("detect", help="detect anomalies in a capture")
     p.add_argument("pcap", type=Path, help="capture to analyse")
@@ -119,6 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _make_context(args):
+    """Build a ClusterContext from the shared engine flags."""
+    from repro.engine import ClusterContext
+
+    return ClusterContext(
+        n_nodes=args.nodes,
+        executor_cores=args.cores,
+        executor=args.executor,
+        local_workers=args.workers,
+        fusion=False if args.no_fusion else None,
+        fault_plan=args.faults,
+        max_task_retries=args.max_task_retries,
+        speculation=args.speculation,
+        memory_budget_bytes=args.memory_budget,
+        spill_dir=args.spill_dir,
+    )
+
+
 def _cmd_synth(args) -> int:
     from repro.pcap.writer import write_pcap
     from repro.trace.synthesizer import synthesize_seed_packets
@@ -158,20 +207,10 @@ def _cmd_generate(args) -> int:
 
     from repro.core import PGPBA, PGSK
     from repro.core.pipeline import build_seed
-    from repro.engine import ClusterContext
     from repro.graph.io import write_edge_list
 
     bundle = build_seed(args.pcap)
-    ctx = ClusterContext(
-        n_nodes=args.nodes,
-        executor_cores=args.cores,
-        executor=args.executor,
-        local_workers=args.workers,
-        fusion=False if args.no_fusion else None,
-        fault_plan=args.faults,
-        max_task_retries=args.max_task_retries,
-        speculation=args.speculation,
-    )
+    ctx = _make_context(args)
     if args.algorithm == "pgpba":
         gen = PGPBA(fraction=args.fraction, seed=args.seed)
     else:
@@ -211,6 +250,59 @@ def _cmd_generate(args) -> int:
     if args.save_edges:
         write_edge_list(result.graph, args.save_edges)
         print(f"edge list saved to {args.save_edges}")
+    return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, shift in (("GiB", 30), ("MiB", 20), ("KiB", 10)):
+        if n >= 1 << shift:
+            return f"{n / (1 << shift):.1f} {unit}"
+    return f"{n} B"
+
+
+def _cmd_engine_info(args) -> int:
+    from repro.engine import MEMORY_BUDGET_ENV_VAR, SPILL_DIR_ENV_VAR
+
+    def source(flag_set: bool, env_var: str) -> str:
+        if flag_set:
+            return "flag"
+        if os.environ.get(env_var):
+            return f"env {env_var}"
+        return "default"
+
+    ctx = _make_context(args)
+    try:
+        plan = ctx.fault_plan
+        budget = ctx.storage.memory_budget_bytes
+        spill_base = ctx.storage.spill_base
+        rows = [
+            ("nodes", str(ctx.n_nodes), "flag" if args.nodes != 1 else "default"),
+            ("cores", str(ctx.scheduler.executor_cores),
+             "flag" if args.cores != 12 else "default"),
+            ("executor", f"{ctx.executor.name} x{ctx.executor.workers}",
+             source(args.executor is not None, "REPRO_EXECUTOR")),
+            ("workers", str(ctx.executor.workers),
+             source(args.workers is not None, "REPRO_LOCAL_WORKERS")),
+            ("fusion", "on" if ctx.fusion_enabled else "off",
+             source(args.no_fusion, "REPRO_FUSION")),
+            ("fault plan", plan.to_json() if plan is not None else "off",
+             source(args.faults is not None, "REPRO_FAULTS")),
+            ("max task retries", str(ctx.max_task_retries),
+             source(args.max_task_retries is not None,
+                    "REPRO_MAX_TASK_RETRIES")),
+            ("speculation", "on" if ctx.speculation is not None else "off",
+             source(bool(args.speculation), "REPRO_SPECULATION")),
+            ("memory budget",
+             _fmt_bytes(budget) if budget is not None else "unlimited",
+             source(args.memory_budget is not None, MEMORY_BUDGET_ENV_VAR)),
+            ("spill dir",
+             spill_base if spill_base is not None else "(system tempdir)",
+             source(args.spill_dir is not None, SPILL_DIR_ENV_VAR)),
+        ]
+        for name, value, src in rows:
+            print(f"{name:<17}: {value:<40} [{src}]")
+    finally:
+        ctx.close()
     return 0
 
 
@@ -269,6 +361,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "analyze": _cmd_analyze,
     "generate": _cmd_generate,
+    "engine-info": _cmd_engine_info,
     "detect": _cmd_detect,
     "veracity": _cmd_veracity,
 }

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.generator import GenerationResult, SeedAnalysis
 from repro.core.pgpba import _decorate
 from repro.engine.context import ClusterContext
+from repro.engine.storage import StorageLevel
 from repro.graph.property_graph import PropertyGraph
 from repro.kronecker.expand import descend_batch
 from repro.kronecker.initiator import InitiatorMatrix
@@ -53,6 +54,11 @@ class PGSK:
         behaviour).  Off, collisions stay as parallel edges.
     kronfit_iterations, kronfit_swaps:
         Effort knobs for the fitting stage.
+    storage_level:
+        Where the persisted loop-carried edge sets live
+        (:class:`~repro.engine.StorageLevel` or its string name); the
+        default ``memory_and_disk`` spills under the context's memory
+        budget, ``disk_only`` keeps them file-resident.
     """
 
     duplication: str = "multiplicity"
@@ -63,12 +69,14 @@ class PGSK:
     kronfit_swaps: int = 100
     max_rounds: int = 64
     seed: int = 0
+    storage_level: "StorageLevel | str" = StorageLevel.MEMORY_AND_DISK
 
     def __post_init__(self) -> None:
         if self.duplication not in ("multiplicity", "out_degree"):
             raise ValueError(
                 "duplication must be 'multiplicity' or 'out_degree'"
             )
+        self.storage_level = StorageLevel.coerce(self.storage_level)
 
     # ------------------------------------------------------------------
     def fit_initiator(self, seed_graph: PropertyGraph) -> InitiatorMatrix:
@@ -149,7 +157,7 @@ class PGSK:
             # the duplication pass after the loop) read the cached
             # partitions instead of replaying the descent lineage, and
             # the driver-side memory meter sees what stays resident.
-            edges = merged.persist()
+            edges = merged.persist(self.storage_level)
             have = edges.count()
             remaining = distinct_target - have
         if edges is None:
@@ -180,7 +188,7 @@ class PGSK:
         # reader would re-run the duplication stage.
         edges = distinct_edges.map_partitions(
             _duplicate, stage="kron:duplicate"
-        ).persist()
+        ).persist(self.storage_level)
         # Force now so the duplication stage is charged to the structure
         # clock (not the property clock) exactly as on the eager path.
         edges.count()

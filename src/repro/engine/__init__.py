@@ -47,6 +47,18 @@ from repro.engine.plan import FUSION_ENV_VAR, resolve_fusion
 from repro.engine.rdd import ArrayRDD
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.metrics import SimulationMetrics, TaskRecord
+from repro.engine.storage import (
+    MEMORY_BUDGET_ENV_VAR,
+    SPILL_DIR_ENV_VAR,
+    BlockId,
+    BlockStore,
+    SpilledBlockHandle,
+    StorageLevel,
+    StorageStats,
+    parse_size,
+    resolve_memory_budget,
+    resolve_spill_dir,
+)
 
 __all__ = [
     "ClusterContext",
@@ -75,4 +87,14 @@ __all__ = [
     "SimulatedWorkerDeath",
     "resolve_max_task_retries",
     "resolve_speculation",
+    "MEMORY_BUDGET_ENV_VAR",
+    "SPILL_DIR_ENV_VAR",
+    "BlockId",
+    "BlockStore",
+    "SpilledBlockHandle",
+    "StorageLevel",
+    "StorageStats",
+    "parse_size",
+    "resolve_memory_budget",
+    "resolve_spill_dir",
 ]

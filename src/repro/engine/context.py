@@ -55,6 +55,7 @@ from repro.engine.partitioner import split_array, split_count
 from repro.engine.plan import resolve_fusion
 from repro.engine.rdd import ArrayRDD, Columns
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
+from repro.engine.storage import BlockStore
 
 __all__ = ["ClusterContext"]
 
@@ -80,6 +81,8 @@ class ClusterContext:
         max_task_retries: int | None = None,
         retry_backoff_seconds: float = 0.01,
         speculation: bool | SpeculationPolicy | None = None,
+        memory_budget_bytes: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         if partition_multiplier < 1:
             raise ValueError("partition_multiplier must be >= 1")
@@ -123,6 +126,21 @@ class ClusterContext:
         # Monotone batch counter keying each dispatched batch into the
         # fault plan's deterministic decision stream.
         self._batch_ids = itertools.count()
+        # Disk-backed block storage: explicit arguments >
+        # REPRO_MEMORY_BUDGET / REPRO_SPILL_DIR env vars > defaults
+        # (unlimited memory, system tempdir).  Every materialized
+        # partition lives here behind a BlockId; under a budget the
+        # store LRU-spills blocks to disk and tasks write their outputs
+        # as block files directly.  Monotone RDD ids key the blocks (and
+        # the persist accounting — id() reuse can never alias entries).
+        self.storage = BlockStore(
+            memory_budget_bytes=memory_budget_bytes, spill_dir=spill_dir
+        )
+        self._rdd_ids = itertools.count()
+        self.metrics.attach_storage(self.storage.stats)
+
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
 
     # ------------------------------------------------------------------
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
@@ -145,8 +163,10 @@ class ClusterContext:
             self.metrics.record_recovery(stats)
 
     def close(self) -> None:
-        """Release executor resources (worker pools); idempotent."""
+        """Release executor resources (worker pools) and drop the block
+        store (spilled files, the session spill dir); idempotent."""
         self.executor.close()
+        self.storage.close()
 
     def __enter__(self) -> "ClusterContext":
         return self
@@ -170,6 +190,7 @@ class ClusterContext:
 
     def reset_metrics(self) -> None:
         self.metrics = SimulationMetrics(n_nodes=self.n_nodes)
+        self.metrics.attach_storage(self.storage.stats)
 
     # ------------------------------------------------------------------
     def _real_and_multiplier(self, nominal: int) -> tuple[int, int]:

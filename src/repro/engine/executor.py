@@ -809,7 +809,19 @@ def run_with_recovery(
             if outcome.ok:
                 results[i] = outcome.value
                 if round_no > 0:
-                    stats.recompute_bytes += _result_nbytes(outcome.value)
+                    # Tasks that know their lineage (fused chains) expose
+                    # a `recovery_bytes` accountant covering every re-run
+                    # operator segment plus any non-durable anchor; plain
+                    # tasks fall back to the result's payload size.
+                    accountant = getattr(tasks[i], "recovery_bytes", None)
+                    if accountant is not None:
+                        stats.recompute_bytes += int(
+                            accountant(outcome.value)
+                        )
+                    else:
+                        stats.recompute_bytes += _result_nbytes(
+                            outcome.value
+                        )
                 continue
             stats.tasks_failed += 1
             failures[i] += 1

@@ -57,6 +57,10 @@ class SimulationMetrics:
     tasks_retried: int = 0
     tasks_speculated: int = 0
     recovery_recompute_bytes: int = 0
+    # Live view of the owning context's BlockStore accounting (attached
+    # by the context, shared across reset_metrics): real driver-process
+    # bytes, not simulated cluster bytes.
+    storage: object = None
 
     def __post_init__(self) -> None:
         if self.node_busy_seconds is None:
@@ -119,6 +123,46 @@ class SimulationMetrics:
         return int(sum(self.persisted_rdd_bytes.values()))
 
     # ------------------------------------------------------------------
+    def attach_storage(self, stats) -> None:
+        """Bind the context's live :class:`~repro.engine.storage.
+        StorageStats` so block-tier accounting surfaces here."""
+        self.storage = stats
+
+    @property
+    def storage_memory_bytes(self) -> int:
+        """Bytes of block data currently resident in driver memory."""
+        return 0 if self.storage is None else int(self.storage.memory_bytes)
+
+    @property
+    def storage_disk_bytes(self) -> int:
+        """Bytes of block data currently spilled on disk."""
+        return 0 if self.storage is None else int(self.storage.disk_bytes)
+
+    @property
+    def storage_spill_count(self) -> int:
+        """Blocks (and shuffle segments) written to disk so far."""
+        return 0 if self.storage is None else int(self.storage.spill_count)
+
+    @property
+    def storage_reload_count(self) -> int:
+        """Spilled blocks read back from disk so far."""
+        return 0 if self.storage is None else int(self.storage.reload_count)
+
+    @property
+    def storage_peak_memory_bytes(self) -> int:
+        return (
+            0 if self.storage is None
+            else int(self.storage.peak_memory_bytes)
+        )
+
+    @property
+    def storage_disk_high_water_bytes(self) -> int:
+        return (
+            0 if self.storage is None
+            else int(self.storage.disk_high_water_bytes)
+        )
+
+    # ------------------------------------------------------------------
     @property
     def n_tasks(self) -> int:
         return len(self.tasks)
@@ -132,8 +176,14 @@ class SimulationMetrics:
         return float(self.node_peak_bytes.mean()) if self.n_nodes else 0.0
 
     def utilisation(self) -> float:
-        """Fraction of node-seconds spent computing (vs idle waves)."""
+        """Fraction of node-seconds spent computing (vs idle waves).
+
+        Clamped to 1.0: busy seconds count *effective* task seconds,
+        several of which run concurrently on one node's cores, so the
+        raw ratio can nose over 1 when task costs dwarf the scheduling
+        overheads.
+        """
         if self.simulated_seconds <= 0:
             return 0.0
         capacity = self.simulated_seconds * self.n_nodes
-        return float(self.node_busy_seconds.sum() / capacity)
+        return min(1.0, float(self.node_busy_seconds.sum() / capacity))

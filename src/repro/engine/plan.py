@@ -136,8 +136,18 @@ class StageGroup:
     bytes_out: list[int]
 
 
-def _make_fused_task(cols, ops, validate):
+def _make_fused_task(ref, ops, validate, writer=None, out_name=None):
     """Build one executor task running a whole chain of narrow ops.
+
+    ``ref`` is a block reference from the store: resident blocks hand
+    the task their arrays directly, spilled blocks hand it a file path
+    the worker reads itself (loading happens *outside* the timed
+    segments — storage I/O is not simulated cluster compute, so the
+    Fig. 8-12 series stay identical under any memory budget).  When
+    ``writer`` is set (a memory budget is active) the task serializes
+    its output to ``out_name`` worker-side and returns a small
+    :class:`~repro.engine.storage.SpilledBlockHandle` instead of the
+    arrays, so the driver never accumulates a whole dataset of results.
 
     Each operator segment is timed separately (`two clocks`: the
     simulated scheduler needs per-stage costs, not per-fused-task costs)
@@ -147,7 +157,7 @@ def _make_fused_task(cols, ops, validate):
     """
 
     def _task():
-        current = cols
+        current = ref.load()
         segments = []
         for op, task_index in ops:
             t0 = time.perf_counter()
@@ -161,19 +171,38 @@ def _make_fused_task(cols, ops, validate):
                     sum(c.nbytes for c in current),
                 )
             )
+        if writer is not None:
+            return writer.write(out_name, current), segments
         return current, segments
 
+    # Chain-aware recovery accounting: a retried fused task recomputes
+    # every operator segment *plus* — unless the anchor is durable (a
+    # checkpoint file survives the simulated worker loss; an in-memory
+    # or persist()-ed anchor does not) — the anchor partition itself.
+    # This is what makes checkpoint() strictly cheaper to recover
+    # through than persist() under a fault plan.
+    anchor_bytes = 0 if ref.durable else ref.nbytes
+
+    def _recovery_bytes(value):
+        return anchor_bytes + sum(seg[3] for seg in value[1])
+
+    _task.recovery_bytes = _recovery_bytes
     return _task
 
 
-def fuse_and_run(ctx, pipes: Sequence[Pipe]):
-    """Execute a partition-pipe plan; return ``(partitions, stage_groups)``.
+def fuse_and_run(ctx, pipes: Sequence[Pipe], *, target_id: int = 0):
+    """Execute a partition-pipe plan; return ``(results, stage_groups)``.
 
-    Pipes with an empty chain (pure union passthrough) are resolved by
-    reference on the driver — no task, no copy, no stage record, exactly
-    like the eager ``union``.
+    ``results`` holds, per output partition, either the computed column
+    tuple, a :class:`~repro.engine.storage.SpilledBlockHandle` when a
+    memory budget made the task write its output file worker-side
+    (``target_id`` namespaces those block files), or a
+    :class:`~repro.engine.storage.BlockId` for pipes with an empty chain
+    (pure union passthrough) — resolved by reference on the driver: no
+    task, no copy, no stage record, exactly like the eager ``union``.
     """
     from repro.engine.rdd import _validate_partition
+    from repro.engine.storage import BlockId
 
     # A persisted-but-lazy anchor materializes first (and registers its
     # resident bytes); its chain is its own, never fused into ours.
@@ -183,23 +212,29 @@ def fuse_and_run(ctx, pipes: Sequence[Pipe]):
             seen.add(id(pipe.base))
             pipe.base._force()
 
+    store = ctx.storage
+    writer = store.block_writer() if store.spill_task_outputs else None
     work = [(i, pipe) for i, pipe in enumerate(pipes) if pipe.ops]
     outs = ctx.run_tasks(
         [
             _make_fused_task(
-                pipe.base._parts[pipe.index], pipe.ops, _validate_partition
+                pipe.base._task_ref(pipe.index),
+                pipe.ops,
+                _validate_partition,
+                writer,
+                BlockId(target_id, i).filename if writer else None,
             )
-            for _, pipe in work
+            for i, pipe in work
         ]
     ) if work else []
 
-    parts: list = [None] * len(pipes)
+    results: list = [None] * len(pipes)
     for i, pipe in enumerate(pipes):
         if not pipe.ops:
-            parts[i] = pipe.base._parts[pipe.index]
+            results[i] = pipe.base._blocks[pipe.index]
     raw_segments: list[tuple[int, int, float, int]] = []
-    for (i, _pipe), (cols, segments) in zip(work, outs):
-        parts[i] = cols
+    for (i, _pipe), (payload, segments) in zip(work, outs):
+        results[i] = payload
         raw_segments.extend(segments)
 
     ops_by_seq = {
@@ -226,4 +261,4 @@ def fuse_and_run(ctx, pipes: Sequence[Pipe]):
                 bytes_out=[by_task[t][1] for t in task_indices],
             )
         )
-    return parts, stage_groups
+    return results, stage_groups

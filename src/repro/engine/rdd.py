@@ -20,33 +20,54 @@ whether the stages were fused (only the wall clock and the peak local
 memory change).  ``ClusterContext(fusion=False)`` / ``REPRO_FUSION=off``
 force every transformation immediately — the eager reference path.
 
-``persist()`` pins an RDD: its first forcing materializes and caches the
-partitions (breaking any fusion chain through it) and registers the
-resident bytes with the metrics' driver-side memory meter until
-``unpersist()``.  Forcing always caches the forced RDD's own partitions,
-but *not* its lineage intermediates — fork two lazy branches off one
-unforced RDD and the shared prefix recomputes (and is re-charged to the
-simulated clock); persist the branch point to avoid that, as the
-generators do at their loop boundaries.
+Materialized partitions live in the context's
+:class:`~repro.engine.storage.BlockStore` behind stable
+:class:`~repro.engine.storage.BlockId` handles: the RDD itself only holds
+block ids, and every data access goes through the store — which may keep
+the block resident, spill it to disk under memory pressure, or stream it
+from a file (``StorageLevel.DISK_ONLY``).  Spilled blocks reload
+bit-identically, so the engine's digest guarantees hold under any memory
+budget.  Blocks are reference counted (``union`` passthrough shares
+them) and freed when the last referencing RDD is garbage collected.
+
+``persist(level)`` pins an RDD: its first forcing materializes and
+caches the partitions (breaking any fusion chain through it) and
+registers the resident bytes with the metrics' driver-side memory meter
+until ``unpersist()``.  ``StorageLevel.MEMORY_ONLY`` reproduces the
+legacy never-evict pin; ``MEMORY_AND_DISK`` (default) may spill under a
+budget; ``DISK_ONLY`` keeps partitions file-resident.  Forcing always
+caches the forced RDD's own partitions, but *not* its lineage
+intermediates — fork two lazy branches off one unforced RDD and the
+shared prefix recomputes (and is re-charged to the simulated clock);
+persist the branch point to avoid that, as the generators do at their
+loop boundaries.
 
 The "resilient" in the name is earned at the execution layer: every task
 batch an action dispatches goes through
 :func:`~repro.engine.executor.run_with_recovery`, so a failed or killed
 task is retried from its captured anchor partitions — recomputing only
 the lost partition's chain from its narrowest persisted or source
-ancestor.  ``persist()`` therefore doubles as the recovery checkpoint,
-exactly as caching does in Spark.
+ancestor.  ``persist()`` doubles as a *volatile* recovery anchor (its
+blocks live in executor memory, which the simulated failure loses, so a
+retry re-charges the anchor bytes to ``recovery_recompute_bytes``);
+:meth:`ArrayRDD.checkpoint` writes partitions **durably** through the
+store and truncates lineage, so retries re-read the checkpoint file and
+charge nothing for the anchor — strictly less recomputation under any
+fault plan.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import weakref
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.engine.partitioner import split_count
 from repro.engine.plan import PendingOp, Pipe, fuse_and_run
+from repro.engine.storage import BlockId, SpilledBlockHandle, StorageLevel
 
 __all__ = ["ArrayRDD"]
 
@@ -64,6 +85,14 @@ def _validate_partition(cols: Sequence[np.ndarray]) -> Columns:
     return cols
 
 
+def _release_rdd(store, block_ids, metrics, rdd_id):
+    """Finalizer: drop block references and any persist accounting when
+    an RDD is garbage collected (so a forgotten ``unpersist()`` cannot
+    leak driver-meter bytes forever)."""
+    store.release_many(block_ids)
+    metrics.release_persist(rdd_id)
+
+
 class ArrayRDD:
     """Partitioned columnar dataset bound to a cluster context.
 
@@ -78,8 +107,9 @@ class ArrayRDD:
     Partitions are immutable once materialized, so the driver-side
     metadata views (``count``, ``partition_sizes``, ``partition_bytes``)
     are computed once and cached — PGPBA's growth loop polls them every
-    iteration.  On a lazy RDD those metadata calls are actions: they
-    force the lineage.
+    iteration.  Metadata comes from the block store's per-block records,
+    so none of these calls loads spilled data.  On a lazy RDD they are
+    actions: they force the lineage.
     """
 
     def __init__(
@@ -89,16 +119,27 @@ class ArrayRDD:
             raise ValueError("an RDD needs at least one partition")
         if task_multiplier < 1:
             raise ValueError("task_multiplier must be >= 1")
-        self._ctx = context
-        self.task_multiplier = task_multiplier
-        self._pipes: list[Pipe] | None = None
         parts = [_validate_partition(p) for p in partitions]
         width = len(parts[0])
         if any(len(p) != width for p in parts):
             raise ValueError("all partitions must have the same column count")
-        self._parts: list[Columns] | None = parts
-        self._known_columns: int | None = width
+        self._init_shell(context, task_multiplier)
+        self._known_columns = width
+        self._adopt_results(parts)
+
+    def _init_shell(
+        self, context, task_multiplier: int, *, rdd_id: "int | None" = None
+    ) -> None:
+        self._ctx = context
+        self.task_multiplier = task_multiplier
+        self._id = rdd_id if rdd_id is not None else context._next_rdd_id()
+        self._pipes: list[Pipe] | None = None
+        self._blocks: list[BlockId] | None = None
+        self._finalizer = None
+        self._known_columns: int | None = None
         self._persisted = False
+        self._checkpointed = False
+        self._level = StorageLevel.MEMORY_AND_DISK
         self._cached_count: int | None = None
         self._cached_sizes: np.ndarray | None = None
         self._cached_bytes: np.ndarray | None = None
@@ -113,16 +154,68 @@ class ArrayRDD:
         n_columns: int | None,
     ) -> "ArrayRDD":
         rdd = cls.__new__(cls)
-        rdd._ctx = context
-        rdd.task_multiplier = task_multiplier
-        rdd._parts = None
+        rdd._init_shell(context, task_multiplier)
         rdd._pipes = pipes
         rdd._known_columns = n_columns
-        rdd._persisted = False
-        rdd._cached_count = None
-        rdd._cached_sizes = None
-        rdd._cached_bytes = None
         return rdd
+
+    @classmethod
+    def _from_results(
+        cls,
+        context,
+        results: list,
+        *,
+        task_multiplier: int,
+        rdd_id: "int | None" = None,
+    ) -> "ArrayRDD":
+        """Build a materialized RDD from executor results: raw column
+        tuples, :class:`SpilledBlockHandle` (task wrote the block file),
+        or :class:`BlockId` (share an existing block by reference)."""
+        rdd = cls.__new__(cls)
+        rdd._init_shell(context, task_multiplier, rdd_id=rdd_id)
+        rdd._adopt_results(results)
+        return rdd
+
+    def _adopt_results(self, results: list) -> None:
+        """Register executor results as this RDD's blocks in the store."""
+        store = self._ctx.storage
+        blocks: list[BlockId] = []
+        width: int | None = None
+        for i, result in enumerate(results):
+            if isinstance(result, BlockId):
+                store.share(result)
+                blocks.append(result)
+                w = store.meta(result).n_columns
+            elif isinstance(result, SpilledBlockHandle):
+                block_id = BlockId(self._id, i)
+                store.adopt(block_id, result, level=self._level)
+                blocks.append(block_id)
+                w = result.n_columns
+            else:
+                block_id = BlockId(self._id, i)
+                store.put(block_id, result, level=self._level)
+                blocks.append(block_id)
+                w = len(result)
+            if width is None:
+                width = w
+            elif w != width:
+                raise ValueError(
+                    "all partitions must have the same column count"
+                )
+        self._blocks = blocks
+        self._pipes = None
+        self._known_columns = width
+        self._finalizer = weakref.finalize(
+            self, _release_rdd, store, list(blocks), self._ctx.metrics,
+            self._id,
+        )
+
+    def _release_now(self) -> None:
+        """Eagerly drop this RDD's block references (internal use by the
+        shuffle, which consumes its map side mid-exchange)."""
+        if self._finalizer is not None:
+            self._finalizer()
+        self._blocks = None
 
     # ------------------------------------------------------------------
     # lineage plumbing
@@ -130,19 +223,21 @@ class ArrayRDD:
     @property
     def _is_anchor(self) -> bool:
         """Materialized and persisted RDDs anchor fusion chains."""
-        return self._parts is not None or self._persisted
+        return self._blocks is not None or self._persisted
 
     def _as_pipes(self) -> list[Pipe]:
         if self._is_anchor:
             return [Pipe(self, i) for i in range(self.n_partitions)]
         return list(self._pipes)
 
-    def _force(self) -> list[Columns]:
+    def _force(self) -> list[BlockId]:
         """Materialize this RDD (idempotent): run the fused plan, record
-        each logical stage's measured costs, cache the partitions."""
-        if self._parts is not None:
-            return self._parts
-        parts, stage_groups = fuse_and_run(self._ctx, self._pipes)
+        each logical stage's measured costs, register the blocks."""
+        if self._blocks is not None:
+            return self._blocks
+        results, stage_groups = fuse_and_run(
+            self._ctx, self._pipes, target_id=self._id
+        )
         for group in stage_groups:
             self._ctx._record_stage(
                 group.op.stage,
@@ -151,37 +246,87 @@ class ArrayRDD:
                 np.asarray(group.bytes_out, dtype=np.int64),
                 multiplier=group.op.multiplier,
             )
-        width = len(parts[0])
-        if any(len(p) != width for p in parts):
-            raise ValueError("all partitions must have the same column count")
-        self._parts = parts
-        self._pipes = None
-        self._known_columns = width
+        self._adopt_results(results)
         if self._persisted:
             self._ctx.metrics.register_persist(
-                id(self), int(self.partition_bytes().sum())
+                self._id, int(self.partition_bytes().sum())
             )
-        return self._parts
+        return self._blocks
 
-    def persist(self) -> "ArrayRDD":
+    def _partition(self, index: int) -> Columns:
+        """Load one partition's columns through the store (an action)."""
+        self._force()
+        return self._ctx.storage.get(self._blocks[index])
+
+    def _task_ref(self, index: int):
+        """A picklable/forkable block reference for task closures."""
+        self._force()
+        return self._ctx.storage.task_ref(self._blocks[index])
+
+    def persist(
+        self, level: "StorageLevel | str | None" = None
+    ) -> "ArrayRDD":
         """Pin this RDD: cache its partitions at first forcing (breaking
         any fusion chain through it) and account the resident bytes on
-        the driver-side memory meter until :meth:`unpersist`."""
-        if not self._persisted:
-            self._persisted = True
-            if self._parts is not None:
-                self._ctx.metrics.register_persist(
-                    id(self), int(self.partition_bytes().sum())
-                )
+        the driver-side memory meter until :meth:`unpersist`.
+
+        ``level`` picks where the pinned partitions live:
+        ``MEMORY_ONLY`` never evicts (the legacy behaviour),
+        ``MEMORY_AND_DISK`` (default) spills under the context's memory
+        budget and reloads transparently, ``DISK_ONLY`` keeps them
+        file-resident.  Idempotent: re-persisting (same or different
+        level) re-levels the blocks without double-counting bytes.
+        """
+        level = (
+            StorageLevel.MEMORY_AND_DISK
+            if level is None
+            else StorageLevel.coerce(level)
+        )
+        self._persisted = True
+        self._level = level
+        if self._blocks is not None:
+            store = self._ctx.storage
+            for block_id in self._blocks:
+                store.set_level(block_id, level)
+            # register_persist overwrites the same key, so repeated
+            # persist() calls can never drift the accounting.
+            self._ctx.metrics.register_persist(
+                self._id, int(self.partition_bytes().sum())
+            )
         return self
 
     def unpersist(self) -> "ArrayRDD":
-        """Release the persist accounting (idempotent).  The partition
-        arrays themselves are freed by reference counting once nothing
-        downstream aliases them."""
+        """Release the persist accounting (idempotent) and make the
+        blocks evictable again.  The partition data itself is freed by
+        block reference counting once nothing downstream shares it."""
         if self._persisted:
             self._persisted = False
-            self._ctx.metrics.release_persist(id(self))
+            self._level = StorageLevel.MEMORY_AND_DISK
+            self._ctx.metrics.release_persist(self._id)
+            if self._blocks is not None:
+                store = self._ctx.storage
+                for block_id in self._blocks:
+                    store.set_level(block_id, StorageLevel.MEMORY_AND_DISK)
+        return self
+
+    def checkpoint(self) -> "ArrayRDD":
+        """Write this RDD's partitions durably through the block store
+        and truncate lineage (an action: forces first).
+
+        Unlike ``persist()`` — whose blocks live in (simulated) executor
+        memory and are lost with a worker, so a downstream retry
+        re-charges the anchor bytes — a checkpointed block is a file
+        that survives worker loss: ``run_with_recovery`` restarts a lost
+        downstream task by re-reading the checkpoint, and
+        ``recovery_recompute_bytes`` charges only the re-run operator
+        chain, never the anchor.  Reads stream from the checkpoint file
+        (the recovery path *is* the read path, keeping digests honest).
+        """
+        self._force()
+        store = self._ctx.storage
+        for block_id in self._blocks:
+            store.checkpoint_block(block_id)
+        self._checkpointed = True
         return self
 
     @property
@@ -189,8 +334,16 @@ class ArrayRDD:
         return self._persisted
 
     @property
+    def is_checkpointed(self) -> bool:
+        return self._checkpointed
+
+    @property
     def is_materialized(self) -> bool:
-        return self._parts is not None
+        return self._blocks is not None
+
+    @property
+    def storage_level(self) -> StorageLevel:
+        return self._level
 
     # ------------------------------------------------------------------
     @property
@@ -200,15 +353,27 @@ class ArrayRDD:
     @property
     def n_partitions(self) -> int:
         return (
-            len(self._parts) if self._parts is not None else len(self._pipes)
+            len(self._blocks)
+            if self._blocks is not None
+            else len(self._pipes)
         )
 
     @property
     def n_columns(self) -> int:
         if self._known_columns is None:
             self._force()
-            self._known_columns = len(self._parts[0])
         return self._known_columns
+
+    @property
+    def _parts(self) -> "list[Columns] | None":
+        """Loaded partition list (legacy view used by tests/diagnostics).
+
+        ``None`` while lazy; loading goes through the store, so spilled
+        blocks are pulled back transparently.
+        """
+        if self._blocks is None:
+            return None
+        return [self._partition(i) for i in range(len(self._blocks))]
 
     def count(self) -> int:
         if self._cached_count is None:
@@ -218,22 +383,26 @@ class ArrayRDD:
     def partition_sizes(self) -> np.ndarray:
         """Row count per partition (an action on a lazy RDD).
 
-        Cached and returned read-only: partitions never change after
+        Served from block metadata — never loads spilled data.  Cached
+        and returned read-only: partitions never change after
         materialization.
         """
         if self._cached_sizes is None:
-            parts = self._force()
-            sizes = np.asarray([p[0].size for p in parts], dtype=np.int64)
+            self._force()
+            store = self._ctx.storage
+            sizes = np.asarray(
+                [store.meta(b).rows for b in self._blocks], dtype=np.int64
+            )
             sizes.flags.writeable = False
             self._cached_sizes = sizes
         return self._cached_sizes
 
     def partition_bytes(self) -> np.ndarray:
         if self._cached_bytes is None:
-            parts = self._force()
+            self._force()
+            store = self._ctx.storage
             nbytes = np.asarray(
-                [sum(c.nbytes for c in p) for p in parts],
-                dtype=np.int64,
+                [store.meta(b).nbytes for b in self._blocks], dtype=np.int64
             )
             nbytes.flags.writeable = False
             self._cached_bytes = nbytes
@@ -241,11 +410,14 @@ class ArrayRDD:
 
     def collect(self) -> Columns:
         """Concatenate all partitions into driver-side column arrays."""
-        parts = self._force()
-        return tuple(
-            np.concatenate([p[j] for p in parts])
-            for j in range(self.n_columns)
-        )
+        self._force()
+        n_cols = self.n_columns
+        chunks: list[list[np.ndarray]] = [[] for _ in range(n_cols)]
+        for i in range(self.n_partitions):
+            part = self._partition(i)
+            for j in range(n_cols):
+                chunks[j].append(part[j])
+        return tuple(np.concatenate(chunks[j]) for j in range(n_cols))
 
     # ------------------------------------------------------------------
     def map_partitions(
@@ -332,9 +504,14 @@ class ArrayRDD:
 
         ``shuffle="exchange"`` (default) is a real hash exchange: every
         map task buckets its rows by ``hash(key) % n_partitions`` on the
-        executor, the driver only concatenates per-destination buckets,
-        and the reduce-side unique runs per-partition on the executor —
-        peak driver memory is O(largest partition), not O(dataset).
+        executor and the reduce-side unique runs per-partition on the
+        executor.  Without a memory budget the driver concatenates
+        per-destination buckets in memory (peak driver memory is
+        O(largest partition), not O(dataset)); with a budget the map
+        tasks write their buckets as **file shuffle segments** through
+        the block store and the reduce tasks read their slots back, so
+        no stage ever holds more than one partition in memory and a
+        10^7-row distinct runs under a fixed budget.
         ``shuffle="collect"`` keeps the legacy collect-everything path
         (used by the memory benchmarks as the comparison baseline).
         The shuffle is charged to the simulated clock via the reduce
@@ -352,22 +529,25 @@ class ArrayRDD:
             lambda cols, i: _unique_rows(cols, key_cols),
             stage=f"{stage}:map",
         )
+        rdd_id: int | None = None
         if shuffle == "exchange":
-            # Hand the partition list over and drop the RDD: the exchange
-            # releases map-side partitions as soon as they are bucketed,
-            # which only works if nothing else keeps them alive.
-            map_parts = list(map_side._force())
-            del map_side
-            parts, task_cpu, driver_cpu = _exchange_shuffle(
-                self._ctx, map_parts, key_cols, n_parts
+            map_side._force()
+            # The exchange consumes the map side: its blocks are released
+            # as soon as every map task has re-bucketed its input.
+            results, task_cpu, driver_cpu, rdd_id = _exchange_shuffle(
+                self._ctx, map_side, key_cols, n_parts
             )
+            del map_side
         else:
             map_side._force()
-            parts, task_cpu, driver_cpu = _collect_shuffle(
+            results, task_cpu, driver_cpu = _collect_shuffle(
                 map_side, key_cols, n_parts
             )
-        rdd = ArrayRDD(
-            self._ctx, parts, task_multiplier=self.task_multiplier
+        rdd = ArrayRDD._from_results(
+            self._ctx,
+            results,
+            task_multiplier=self.task_multiplier,
+            rdd_id=rdd_id,
         )
         # The simulated cost model is calibrated independently of the
         # local data path: of the total measured shuffle work, 75%
@@ -382,7 +562,7 @@ class ArrayRDD:
         self._ctx._record_stage(
             f"{stage}:reduce",
             [per_task] * n_parts,
-            [sum(c.nbytes for c in p) for p in parts],
+            list(rdd.partition_bytes()),
             rdd.partition_bytes(),
             multiplier=self.task_multiplier,
         )
@@ -422,15 +602,17 @@ class ArrayRDD:
         """Rebalance rows into ``n_partitions`` near-equal partitions.
 
         A range exchange (and therefore a fusion barrier): the driver
-        only *plans* (slices source partitions into per-destination
-        views); the per-destination concatenations run as executor
-        tasks.  Row order — and therefore the output — is identical to
-        concatenating everything and ``np.array_split``-ing it, without
-        ever materialising the full dataset in the driver.
+        only *plans* (computes per-destination source slices); the
+        per-destination load/slice/concatenate work runs as executor
+        tasks against block references, and — under a memory budget —
+        each task writes its output straight to a block file.  Row order
+        (and therefore the output) is identical to concatenating
+        everything and ``np.array_split``-ing it, without ever
+        materialising the full dataset in the driver.
         """
         if n_partitions < 1:
             raise ValueError("need at least one partition")
-        src_parts = self._force()
+        self._force()
         t0 = time.perf_counter()
         sizes = self.partition_sizes()
         src_off = np.concatenate(([0], np.cumsum(sizes)))
@@ -438,53 +620,74 @@ class ArrayRDD:
         bounds = np.concatenate(
             ([0], np.cumsum(split_count(total, n_partitions)))
         )
-        empty = tuple(c[:0] for c in src_parts[0])
-        pieces: list[list[Columns]] = []
+        pieces: list[list[tuple[int, int, int]]] = []
         for p in range(n_partitions):
             lo, hi = int(bounds[p]), int(bounds[p + 1])
-            mine: list[Columns] = []
+            mine: list[tuple[int, int, int]] = []
             if hi > lo:
                 s = int(np.searchsorted(src_off, lo, side="right")) - 1
                 while s < self.n_partitions and src_off[s] < hi:
                     a = max(lo, int(src_off[s])) - int(src_off[s])
                     b = min(hi, int(src_off[s + 1])) - int(src_off[s])
                     if b > a:
-                        mine.append(
-                            tuple(c[a:b] for c in src_parts[s])
-                        )
+                        mine.append((s, a, b))
                     s += 1
             pieces.append(mine)
+        refs = {
+            s: self._task_ref(s)
+            for s in sorted({c[0] for mine in pieces for c in mine})
+        }
+        template_ref = (
+            self._task_ref(0) if any(not mine for mine in pieces) else None
+        )
         plan_seconds = time.perf_counter() - t0
         n_cols = self.n_columns
+        store = self._ctx.storage
+        writer = store.block_writer() if store.spill_task_outputs else None
+        rdd_id = self._ctx._next_rdd_id()
 
-        def _make_task(chunks: list[Columns]):
+        def _make_task(mine: list[tuple[int, int, int]], p: int):
+            out_name = BlockId(rdd_id, p).filename
+
             def _task():
+                loaded = [(refs[s].load(), a, b) for s, a, b in mine]
+                if not loaded and template_ref is not None:
+                    template = template_ref.load()
                 t0 = time.perf_counter()
-                if not chunks:
-                    cols = empty
-                elif len(chunks) == 1:
-                    cols = chunks[0]
+                if not loaded:
+                    cols = tuple(c[:0] for c in template)
+                elif len(loaded) == 1:
+                    src, a, b = loaded[0]
+                    cols = tuple(c[a:b] for c in src)
                 else:
                     cols = tuple(
-                        np.concatenate([c[j] for c in chunks])
+                        np.concatenate([src[j][a:b] for src, a, b in loaded])
                         for j in range(n_cols)
                     )
-                return cols, time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                if writer is not None:
+                    return writer.write(out_name, cols), elapsed
+                return cols, elapsed
 
             return _task
 
-        outs = self._ctx.run_tasks([_make_task(m) for m in pieces])
-        parts = [out[0] for out in outs]
-        # Fold the (tiny, view-only) driver planning cost into the tasks
+        outs = self._ctx.run_tasks(
+            [_make_task(mine, p) for p, mine in enumerate(pieces)]
+        )
+        results = [out[0] for out in outs]
+        # Fold the (tiny, index-only) driver planning cost into the tasks
         # so the stage structure matches the pre-exchange accounting.
         cpu = [out[1] + plan_seconds / n_partitions for out in outs]
-        rdd = ArrayRDD(
-            self._ctx, parts, task_multiplier=self.task_multiplier
+        rdd = ArrayRDD._from_results(
+            self._ctx,
+            results,
+            task_multiplier=self.task_multiplier,
+            rdd_id=rdd_id,
         )
         self._ctx._record_stage(
             stage,
             cpu,
-            [sum(c.nbytes for c in p) for p in parts],
+            list(rdd.partition_bytes()),
             rdd.partition_bytes(),
             multiplier=self.task_multiplier,
         )
@@ -499,17 +702,19 @@ class ArrayRDD:
         results are concatenated, mirroring ``RDD.mapPartitions().collect()``
         driver aggregation.  An action: forces the lineage first.
         """
-        parts = self._force()
+        self._force()
+        refs = [self._task_ref(i) for i in range(self.n_partitions)]
 
-        def _make_task(part: Columns):
+        def _make_task(ref):
             def _task():
+                part = ref.load()
                 t0 = time.perf_counter()
                 out = np.atleast_1d(np.asarray(fn(part)))
                 return out, time.perf_counter() - t0
 
             return _task
 
-        results = self._ctx.run_tasks([_make_task(p) for p in parts])
+        results = self._ctx.run_tasks([_make_task(r) for r in refs])
         outs = [r[0] for r in results]
         cpu = [r[1] for r in results]
         self._ctx._record_stage(
@@ -542,31 +747,114 @@ def _hash_keys(cols: Columns, key_cols: tuple[int, ...]) -> np.ndarray:
     return key
 
 
+def _route(cols: Columns, key_cols: tuple[int, ...], n_parts: int):
+    """Stable per-destination row ordering for the hash exchange: the
+    identical routing runs in the in-memory and file-segment paths, so
+    the reduce side sees the same rows in the same order either way."""
+    dest = (_hash_keys(cols, key_cols) % np.uint64(n_parts)).astype(np.int64)
+    order = np.argsort(dest, kind="stable")
+    splits = np.searchsorted(dest[order], np.arange(n_parts + 1))
+    return order, splits
+
+
 def _exchange_shuffle(
-    ctx, parts: list[Columns], key_cols: tuple[int, ...], n_parts: int
-) -> tuple[list[Columns], list[float], float]:
+    ctx, map_side: "ArrayRDD", key_cols: tuple[int, ...], n_parts: int
+):
     """Hash-exchange + reduce-side unique without a driver collect.
 
-    Returns ``(partitions, per_task_cpu, driver_cpu)`` — raw measured
-    seconds; the caller applies the calibrated parallel/serial cost
-    split.  Map-side bucketing and reduce-side unique both run on the
-    executor; the driver only concatenates per-destination buckets.
-    Buffers are released as eagerly as the dataflow allows — each source
-    partition right after it is bucketed, each bucket right after its
-    destination is gathered — so the peak beyond input + output is one
-    destination partition, not a second copy of the dataset (the legacy
-    collect shuffle's behaviour).
-    """
-    n_cols = len(parts[0])
+    Returns ``(results, per_task_cpu, driver_cpu, rdd_id)`` — raw
+    measured seconds; the caller applies the calibrated parallel/serial
+    cost split.  ``results`` are column tuples (in-memory path) or
+    :class:`SpilledBlockHandle` (budgeted path); ``rdd_id`` is the block
+    namespace the outputs were written under.
 
-    def _make_bucket_task(cols: Columns):
+    Without a memory budget, map-side bucketing and reduce-side unique
+    both run on the executor and the driver only concatenates
+    per-destination buckets, releasing buffers as eagerly as the
+    dataflow allows.  With a budget, every map task writes its buckets
+    to one ``.npz`` shuffle segment through the block store and every
+    reduce task streams its slots back from the segment files — the
+    dataset never transits driver memory at all, and on the processes
+    backend the exchange moves bytes via files instead of shm pickles.
+    """
+    store = ctx.storage
+    n_src = map_side.n_partitions
+    n_cols = map_side.n_columns
+    rdd_id = ctx._next_rdd_id()
+
+    if store.spill_task_outputs:
+        shuffle_id = store.new_shuffle_id()
+        seg_writer = store.shuffle_writer()
+        refs = [map_side._task_ref(i) for i in range(n_src)]
+
+        def _make_segment_task(ref, mi: int):
+            name = f"ex{shuffle_id}-m{mi}.npz"
+
+            def _task():
+                cols = ref.load()
+                t0 = time.perf_counter()
+                order, splits = _route(cols, key_cols, n_parts)
+                named = {}
+                for p in range(n_parts):
+                    sel = order[splits[p]:splits[p + 1]]
+                    for j, c in enumerate(cols):
+                        named[f"d{p}c{j}"] = c[sel]
+                elapsed = time.perf_counter() - t0
+                return seg_writer.write_arrays(name, named), elapsed
+
+            return _task
+
+        outs = ctx.run_tasks(
+            [_make_segment_task(r, mi) for mi, r in enumerate(refs)]
+        )
+        map_cpu = [o[1] for o in outs]
+        seg_paths = [o[0][0] for o in outs]
+        seg_bytes = int(sum(o[0][1] for o in outs))
+        store.track_shuffle_segments(seg_bytes, n_src)
+        refs = None
+        map_side._release_now()  # segments now hold the data
+
+        block_writer = store.block_writer()
+
+        def _make_reduce_task(p: int):
+            out_name = BlockId(rdd_id, p).filename
+
+            def _task():
+                t0 = time.perf_counter()
+                per_col: list[list[np.ndarray]] = [[] for _ in range(n_cols)]
+                for path in seg_paths:
+                    with np.load(path) as segment:
+                        for j in range(n_cols):
+                            per_col[j].append(segment[f"d{p}c{j}"])
+                cols = tuple(
+                    np.concatenate(per_col[j]) for j in range(n_cols)
+                )
+                out = _unique_rows(cols, key_cols)
+                elapsed = time.perf_counter() - t0
+                return block_writer.write(out_name, out), elapsed
+
+            return _task
+
+        reduced = ctx.run_tasks(
+            [_make_reduce_task(p) for p in range(n_parts)]
+        )
+        for path in seg_paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        store.untrack_shuffle_segments(seg_bytes)
+        results = [r[0] for r in reduced]
+        task_cpu = [map_cpu[p] + reduced[p][1] for p in range(n_parts)]
+        return results, task_cpu, 0.0, rdd_id
+
+    refs = [map_side._task_ref(i) for i in range(n_src)]
+
+    def _make_bucket_task(ref):
         def _task():
+            cols = ref.load()
             t0 = time.perf_counter()
-            dest = (_hash_keys(cols, key_cols) % np.uint64(n_parts)).astype(
-                np.int64
-            )
-            order = np.argsort(dest, kind="stable")
-            splits = np.searchsorted(dest[order], np.arange(n_parts + 1))
+            order, splits = _route(cols, key_cols, n_parts)
             # Fancy indexing copies, so every bucket owns its rows and the
             # driver can free it independently of its siblings.
             buckets = [
@@ -577,11 +865,12 @@ def _exchange_shuffle(
 
         return _task
 
-    results = ctx.run_tasks([_make_bucket_task(p) for p in parts])
-    bucket_cpu = [r[1] for r in results]
-    bucketed: list[list[Columns]] = [r[0] for r in results]
-    del results
-    parts.clear()  # map-side partitions are consumed; free them now
+    bucket_outs = ctx.run_tasks([_make_bucket_task(r) for r in refs])
+    bucket_cpu = [r[1] for r in bucket_outs]
+    bucketed: list[list[Columns]] = [r[0] for r in bucket_outs]
+    del bucket_outs
+    refs = None
+    map_side._release_now()  # map-side blocks are consumed; free them now
 
     t0 = time.perf_counter()
     gathered: list[Columns] = []
@@ -608,7 +897,7 @@ def _exchange_shuffle(
     reduced = ctx.run_tasks([_make_unique_task(g) for g in gathered])
     out_parts = [r[0] for r in reduced]
     task_cpu = [bucket_cpu[p] + reduced[p][1] for p in range(n_parts)]
-    return out_parts, task_cpu, driver_seconds
+    return out_parts, task_cpu, driver_seconds, rdd_id
 
 
 def _collect_shuffle(

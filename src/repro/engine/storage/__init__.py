@@ -1,0 +1,41 @@
+"""Disk-backed block storage for the Map-Reduce engine.
+
+The paper runs PGPBA/PGSK on a 110-node Spark cluster because edge
+multisets outgrow one machine's RAM; this package is the local engine's
+answer: a :class:`BlockStore` that owns every materialized partition
+behind a stable :class:`BlockId`, keeps resident bytes under a
+configurable memory budget by LRU-spilling serialized blocks to a spill
+directory, transparently reloads them on access, and provides durable
+checkpoint files that truncate lineage for fault recovery.  See
+DESIGN.md §8 for the block lifecycle and budget semantics.
+"""
+
+from repro.engine.storage.blocks import (
+    MEMORY_BUDGET_ENV_VAR,
+    SPILL_DIR_ENV_VAR,
+    BlockId,
+    BlockStore,
+    BlockWriter,
+    SpilledBlockHandle,
+    StorageLevel,
+    StorageStats,
+    load_block_file,
+    parse_size,
+    resolve_memory_budget,
+    resolve_spill_dir,
+)
+
+__all__ = [
+    "MEMORY_BUDGET_ENV_VAR",
+    "SPILL_DIR_ENV_VAR",
+    "BlockId",
+    "BlockStore",
+    "BlockWriter",
+    "SpilledBlockHandle",
+    "StorageLevel",
+    "StorageStats",
+    "load_block_file",
+    "parse_size",
+    "resolve_memory_budget",
+    "resolve_spill_dir",
+]

@@ -121,6 +121,44 @@ class TestDetect:
         assert "10.2.0.2" in out
 
 
+class TestEngineInfo:
+    def test_defaults(self, capsys):
+        rc = main(["engine-info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory budget" in out and "unlimited" in out
+        assert "spill dir" in out and "(system tempdir)" in out
+        assert out.count("[default]") >= 6
+
+    def test_flag_beats_env(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "8MB")
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads")
+        rc = main(
+            [
+                "engine-info",
+                "--memory-budget", "64MB",
+                "--spill-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "64.0 MiB" in out and "[flag]" in out
+        assert "[env REPRO_EXECUTOR]" in out
+        assert str(tmp_path) in out
+
+    def test_generate_accepts_budget_flags(self, seed_pcap, tmp_path, capsys):
+        rc = main(
+            [
+                "generate", str(seed_pcap),
+                "--edges", "3000", "--fraction", "0.5",
+                "--memory-budget", "1KB",
+                "--spill-dir", str(tmp_path / "spill"),
+            ]
+        )
+        assert rc == 0
+        assert "PGPBA" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

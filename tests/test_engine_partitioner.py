@@ -1,0 +1,105 @@
+"""Array partitioning helpers: split_array / split_count invariants.
+
+The partitioner is the one piece of arithmetic every stage shares — the
+same (total, n_partitions) must always produce the same split boundaries
+so that re-running a stage (recovery, another backend, another budget)
+lands every row in the same partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.partitioner import split_array, split_count
+
+
+class TestSplitArray:
+    def test_concatenation_roundtrip(self):
+        arr = np.arange(103)
+        parts = split_array(arr, 7)
+        assert len(parts) == 7
+        np.testing.assert_array_equal(np.concatenate(parts), arr)
+
+    def test_empty_input(self):
+        parts = split_array(np.empty(0, np.int64), 4)
+        assert len(parts) == 4
+        assert all(p.size == 0 for p in parts)
+        assert all(p.dtype == np.int64 for p in parts)
+
+    def test_single_partition(self):
+        arr = np.arange(11)
+        parts = split_array(arr, 1)
+        assert len(parts) == 1
+        np.testing.assert_array_equal(parts[0], arr)
+
+    def test_more_partitions_than_elements(self):
+        parts = split_array(np.arange(3), 5)
+        assert len(parts) == 5
+        sizes = [p.size for p in parts]
+        assert sum(sizes) == 3
+        assert all(s in (0, 1) for s in sizes)
+
+    def test_near_equal_sizes(self):
+        sizes = [p.size for p in split_array(np.arange(100), 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_returns_views_not_copies(self):
+        arr = np.arange(10)
+        parts = split_array(arr, 2)
+        assert all(p.base is arr for p in parts)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            split_array(np.arange(4), 0)
+
+    def test_deterministic_boundaries(self):
+        """Same (array, n) → identical splits on every call: stage
+        re-execution must land every row in the same partition."""
+        arr = np.arange(57)
+        a = split_array(arr, 6)
+        b = split_array(arr, 6)
+        assert [p.size for p in a] == [p.size for p in b]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSplitCount:
+    def test_sums_to_total(self):
+        counts = split_count(103, 7)
+        assert counts.sum() == 103
+        assert counts.dtype == np.int64
+
+    def test_zero_total(self):
+        counts = split_count(0, 4)
+        assert counts.shape == (4,)
+        assert counts.sum() == 0
+
+    def test_single_partition(self):
+        np.testing.assert_array_equal(split_count(42, 1), [42])
+
+    def test_near_equal_distribution(self):
+        counts = split_count(100, 8)
+        assert counts.max() - counts.min() <= 1
+        # The remainder goes to the leading partitions.
+        assert list(counts) == sorted(counts, reverse=True)
+
+    def test_more_partitions_than_items(self):
+        counts = split_count(3, 5)
+        assert counts.sum() == 3
+        assert set(counts) == {0, 1}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            split_count(10, 0)
+        with pytest.raises(ValueError):
+            split_count(-1, 4)
+
+    def test_matches_split_array_sizes(self):
+        """split_count(total, n) and split_array(arange(total), n) agree
+        on partition sizes, so data-carrying and generate stages place
+        row i in the same partition."""
+        for total, n in ((0, 3), (7, 3), (100, 8), (3, 5)):
+            counts = split_count(total, n)
+            sizes = [p.size for p in split_array(np.arange(total), n)]
+            assert list(counts) == sizes
