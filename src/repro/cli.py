@@ -10,8 +10,8 @@ this module provides the equivalent:
 * ``detect``   — run the Fig. 4 anomaly detector over a pcap capture;
 * ``veracity`` — score a generated graph against its seed;
 * ``engine-info`` — print the resolved engine configuration (backend,
-  workers, fusion, fault plan, memory budget, spill dir) with the source
-  of each setting, for debugging env-vs-flag precedence.
+  workers, fusion, fault plan, memory budget, spill dir, task grain)
+  with the source of each setting, for debugging env-vs-flag precedence.
 
 Usage: ``python -m repro.cli <command> --help``.
 """
@@ -35,16 +35,31 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cores", type=int, default=12,
                    help="executor cores per node")
     p.add_argument(
-        "--executor", choices=("serial", "threads", "processes"),
+        "--executor", choices=("serial", "threads", "processes", "pool"),
         default=None,
         help="real execution backend for partition tasks (default: "
-        "REPRO_EXECUTOR env var, then serial); only wall-clock time "
-        "changes, the simulated cluster metrics do not",
+        "REPRO_EXECUTOR env var, then serial); 'pool' reuses persistent "
+        "forked workers with shared-memory transport; only wall-clock "
+        "time changes, the simulated cluster metrics do not",
     )
     p.add_argument(
         "--workers", type=int, default=None,
         help="local worker threads/processes for the executor backend "
         "(default: REPRO_LOCAL_WORKERS env var, then the CPU count)",
+    )
+    p.add_argument(
+        "--target-partition-bytes", type=str, default=None, metavar="SIZE",
+        help="coalesce adjacent small partitions into physical tasks of "
+        "roughly this size before dispatch, e.g. '4MB' or 'off' "
+        "(default: REPRO_TARGET_PARTITION_BYTES env var, then 4MB); "
+        "results and simulated cluster metrics are byte-identical under "
+        "any setting, only wall-clock dispatch overhead changes",
+    )
+    p.add_argument(
+        "--task-batch", type=int, default=None, metavar="N",
+        help="tasks shipped per worker IPC round on the pool backend; 0 "
+        "adapts to ~n/(2*workers) (default: REPRO_TASK_BATCH env var, "
+        "then 0)",
     )
     p.add_argument(
         "--no-fusion", action="store_true",
@@ -165,6 +180,8 @@ def _make_context(args):
         speculation=args.speculation,
         memory_budget_bytes=args.memory_budget,
         spill_dir=args.spill_dir,
+        target_partition_bytes=args.target_partition_bytes,
+        task_batch=args.task_batch,
     )
 
 
@@ -261,7 +278,13 @@ def _fmt_bytes(n: int) -> str:
 
 
 def _cmd_engine_info(args) -> int:
-    from repro.engine import MEMORY_BUDGET_ENV_VAR, SPILL_DIR_ENV_VAR
+    from repro.engine import (
+        MEMORY_BUDGET_ENV_VAR,
+        SPILL_DIR_ENV_VAR,
+        TARGET_PARTITION_BYTES_ENV_VAR,
+        TASK_BATCH_ENV_VAR,
+        resolve_task_batch,
+    )
 
     def source(flag_set: bool, env_var: str) -> str:
         if flag_set:
@@ -298,6 +321,16 @@ def _cmd_engine_info(args) -> int:
             ("spill dir",
              spill_base if spill_base is not None else "(system tempdir)",
              source(args.spill_dir is not None, SPILL_DIR_ENV_VAR)),
+            ("target partition",
+             _fmt_bytes(ctx.target_partition_bytes)
+             if ctx.target_partition_bytes else "off (no coalescing)",
+             source(args.target_partition_bytes is not None,
+                    TARGET_PARTITION_BYTES_ENV_VAR)),
+            ("task batch",
+             (lambda b: str(b) if b else "adaptive")(
+                 resolve_task_batch(args.task_batch)
+             ),
+             source(args.task_batch is not None, TASK_BATCH_ENV_VAR)),
         ]
         for name, value, src in rows:
             print(f"{name:<17}: {value:<40} [{src}]")

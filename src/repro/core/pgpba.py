@@ -165,7 +165,16 @@ class PGPBA:
                     np.concatenate([out_dst, in_dst]),
                 )
 
-            new_edges = sampled.map_partitions(_grow, stage="pa:grow")
+            # Growth multiplies each sampled edge into ~mean_new_edges
+            # new ones (two int64 columns each); hint that expansion so
+            # the coalescer weighs grow chains by their *output*, not by
+            # the small sampled anchor.
+            grow_hint = np.maximum(
+                sizes * 16, (sizes * mean_new_edges * 16).astype(np.int64)
+            )
+            new_edges = sampled.map_partitions(
+                _grow, stage="pa:grow", bytes_hint=grow_hint
+            )
             n_vertices += n_new
             n_edges += new_edges.count()
             grown = edges.union(new_edges)
@@ -247,6 +256,11 @@ def _decorate(
         sampled = model.sample_columns(n, rng, conditional=conditional)
         return tuple(sampled[name] for name in names)
 
-    prop_rdd = edges.map_partitions(_props, stage="properties")
+    # Nine property columns come out for every two id columns in: weight
+    # the decoration chains accordingly for the coalescer.
+    prop_hint = edges.partition_bytes() * len(names) // 2
+    prop_rdd = edges.map_partitions(
+        _props, stage="properties", bytes_hint=prop_hint
+    )
     collected = prop_rdd.collect()
     return {name: collected[j] for j, name in enumerate(names)}

@@ -22,7 +22,9 @@ bit-identical to the fault-free run.
 
 from repro.engine.context import ClusterContext
 from repro.engine.executor import (
+    TASK_BATCH_ENV_VAR,
     Executor,
+    PoolExecutor,
     ProcessExecutor,
     RecoveryStats,
     RemoteTaskError,
@@ -30,9 +32,11 @@ from repro.engine.executor import (
     SpeculationPolicy,
     TaskOutcome,
     ThreadExecutor,
+    TransportProfile,
     WorkerDied,
     available_backends,
     make_executor,
+    resolve_task_batch,
     run_with_recovery,
 )
 from repro.engine.faults import (
@@ -43,7 +47,13 @@ from repro.engine.faults import (
     resolve_max_task_retries,
     resolve_speculation,
 )
-from repro.engine.plan import FUSION_ENV_VAR, resolve_fusion
+from repro.engine.plan import (
+    DEFAULT_TARGET_PARTITION_BYTES,
+    FUSION_ENV_VAR,
+    TARGET_PARTITION_BYTES_ENV_VAR,
+    resolve_fusion,
+    resolve_target_partition_bytes,
+)
 from repro.engine.rdd import ArrayRDD
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.metrics import SimulationMetrics, TaskRecord
@@ -65,7 +75,12 @@ __all__ = [
     "ArrayRDD",
     "FUSION_ENV_VAR",
     "FAULTS_ENV_VAR",
+    "TARGET_PARTITION_BYTES_ENV_VAR",
+    "TASK_BATCH_ENV_VAR",
+    "DEFAULT_TARGET_PARTITION_BYTES",
     "resolve_fusion",
+    "resolve_target_partition_bytes",
+    "resolve_task_batch",
     "ClusterScheduler",
     "NodeSpec",
     "SimulationMetrics",
@@ -74,9 +89,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PoolExecutor",
     "TaskOutcome",
     "SpeculationPolicy",
     "RecoveryStats",
+    "TransportProfile",
     "WorkerDied",
     "RemoteTaskError",
     "run_with_recovery",

@@ -16,7 +16,11 @@ Orthogonally to the *simulated* cluster, ``executor`` / ``local_workers``
 pick the *real* execution backend partition tasks run on (see
 :mod:`repro.engine.executor`): simulated metrics are identical across
 backends because each task measures its own CPU cost; only wall-clock
-time changes.
+time changes.  Two further knobs shape the *physical* task grain without
+touching the simulated series: ``target_partition_bytes`` (plan-level
+coalescing of small partition chains into ~target-sized executor tasks,
+``REPRO_TARGET_PARTITION_BYTES``, 0/"off" disables) and ``task_batch``
+(tasks per pool-backend IPC round, ``REPRO_TASK_BATCH``, 0 = adaptive).
 
 Every task batch is dispatched through the lineage-recovery layer
 (:func:`repro.engine.executor.run_with_recovery`): failed tasks are
@@ -52,7 +56,7 @@ from repro.engine.faults import (
 )
 from repro.engine.metrics import SimulationMetrics
 from repro.engine.partitioner import split_array, split_count
-from repro.engine.plan import resolve_fusion
+from repro.engine.plan import resolve_fusion, resolve_target_partition_bytes
 from repro.engine.rdd import ArrayRDD, Columns
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.storage import BlockStore
@@ -76,7 +80,9 @@ class ClusterContext:
         max_real_partitions: int = 32,
         executor: str | Executor | None = None,
         local_workers: int | None = None,
+        task_batch: int | None = None,
         fusion: bool | None = None,
+        target_partition_bytes: int | str | None = None,
         fault_plan: FaultPlan | dict | str | None = None,
         max_task_retries: int | None = None,
         retry_backoff_seconds: float = 0.01,
@@ -104,11 +110,21 @@ class ClusterContext:
         # are identical either way, only wall clock / local peak memory
         # change.
         self.fusion_enabled = resolve_fusion(fusion)
+        # Physical task grain: coalesce small partition chains into
+        # ~target-sized executor tasks at plan time (explicit argument >
+        # REPRO_TARGET_PARTITION_BYTES env var > 4 MiB; 0 disables).
+        # Purely a dispatch optimisation — the simulated stage records
+        # are identical either way (asserted in tests).
+        self.target_partition_bytes = resolve_target_partition_bytes(
+            target_partition_bytes
+        )
         self.metrics = SimulationMetrics(n_nodes=n_nodes)
         if isinstance(executor, Executor):
             self.executor = executor
         else:
-            self.executor = make_executor(executor, local_workers)
+            self.executor = make_executor(
+                executor, local_workers, task_batch=task_batch
+            )
         # Fault tolerance: explicit arguments > REPRO_FAULTS /
         # REPRO_MAX_TASK_RETRIES / REPRO_SPECULATION env vars > defaults
         # (no injection, 3 retries, no speculation).
@@ -138,15 +154,33 @@ class ClusterContext:
         )
         self._rdd_ids = itertools.count()
         self.metrics.attach_storage(self.storage.stats)
+        self.metrics.attach_transport(
+            getattr(self.executor, "transport", None)
+        )
 
     def _next_rdd_id(self) -> int:
         return next(self._rdd_ids)
 
     # ------------------------------------------------------------------
-    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        *,
+        emitted: int | None = None,
+    ) -> list[Any]:
         """Dispatch a batch of partition tasks on the executor backend,
         with lineage-based retry of failed tasks (and deterministic fault
-        injection when a plan is configured)."""
+        injection when a plan is configured).
+
+        ``emitted`` is the *logical* task count this batch stands for —
+        the coalescing planner passes the pre-coalescing number so the
+        ``tasks_emitted`` / ``tasks_dispatched`` counters expose the
+        dispatch reduction; plain batches leave it unset (1:1).
+        """
+        self.metrics.tasks_emitted += (
+            len(tasks) if emitted is None else emitted
+        )
+        self.metrics.tasks_dispatched += len(tasks)
         stats = RecoveryStats()
         try:
             return run_with_recovery(
@@ -191,6 +225,10 @@ class ClusterContext:
     def reset_metrics(self) -> None:
         self.metrics = SimulationMetrics(n_nodes=self.n_nodes)
         self.metrics.attach_storage(self.storage.stats)
+        profile = getattr(self.executor, "transport", None)
+        if profile is not None:
+            profile.reset()
+        self.metrics.attach_transport(profile)
 
     # ------------------------------------------------------------------
     def _real_and_multiplier(self, nominal: int) -> tuple[int, int]:
@@ -243,7 +281,14 @@ class ClusterContext:
         def _gen(_cols: Columns, pidx: int) -> Sequence[np.ndarray]:
             return fn(int(counts[pidx]), pidx)
 
-        return seedless.map_partitions(_gen, stage=stage)
+        # The seedless anchor is empty, so without a hint the coalescer
+        # would estimate every generate chain at zero bytes and inline
+        # them all in the driver.  Weight each chain by its item count
+        # (~2 int64 columns per item); zero-count slots stay at zero and
+        # are correctly pruned to inline execution.
+        return seedless.map_partitions(
+            _gen, stage=stage, bytes_hint=counts * 16
+        )
 
     # ------------------------------------------------------------------
     def _record_stage(

@@ -10,7 +10,7 @@ delivers, and that is what this module accelerates: an
 their results in task order, so any backend can stand behind
 ``ArrayRDD.map_partitions`` without changing observable behaviour.
 
-Three backends are provided:
+Four backends are provided:
 
 ``serial``
     The original driver-loop behaviour; the default, and the reference
@@ -29,6 +29,21 @@ Three backends are provided:
     One process per task (rather than a shared pool) is what makes a
     crashed worker survivable: the driver detects the death through the
     process sentinel and fails only that task.
+``pool``
+    Persistent forked workers running a task loop over a duplex pipe —
+    the fork cost is paid ``workers`` times per executor instead of once
+    per task.  Task closures ship as one pickle protocol-5 batch per IPC
+    round (``cloudpickle`` for the closures), with large array buffers
+    carried out-of-band through a grow-only shared-memory *arena* per
+    direction that is recycled across batches: no per-task segment
+    create/unlink, one memcpy each way.  Death detection matches the
+    ``processes`` backend — the driver waits on each busy worker's pipe
+    *and* process sentinel, so an injected ``os._exit(73)`` kill fails
+    only the in-progress task, requeues the not-yet-started remainder of
+    the batch, and respawns the worker.  Spilled-block task outputs
+    (:class:`~repro.engine.storage.SpilledBlockHandle`) carry no arrays
+    and therefore bypass the arena entirely — budgeted runs ship file
+    paths, not data.
 
 Every RNG stream in the engine is keyed by ``(seed, partition_index)``
 and results are gathered in partition order, so all three backends
@@ -84,27 +99,37 @@ import numpy as np
 
 from .faults import FaultPlan
 
+try:  # the pool backend needs cloudpickle for task-closure transport
+    import cloudpickle as _cloudpickle
+except Exception:  # pragma: no cover - baked into the image, but gated
+    _cloudpickle = None
+
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PoolExecutor",
     "TaskOutcome",
     "SpeculationPolicy",
     "RecoveryStats",
+    "TransportProfile",
     "WorkerDied",
     "RemoteTaskError",
     "run_with_recovery",
     "make_executor",
     "available_backends",
     "resolve_backend",
+    "resolve_task_batch",
     "default_workers",
     "EXECUTOR_ENV_VAR",
     "WORKERS_ENV_VAR",
+    "TASK_BATCH_ENV_VAR",
 ]
 
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 WORKERS_ENV_VAR = "REPRO_LOCAL_WORKERS"
+TASK_BATCH_ENV_VAR = "REPRO_TASK_BATCH"
 
 Task = Callable[[], Any]
 
@@ -178,6 +203,54 @@ class RecoveryStats:
     recompute_bytes: int = 0
 
 
+@dataclass
+class TransportProfile:
+    """Wall-clock breakdown of where an executor's overhead goes.
+
+    Accumulated over the executor's lifetime (one instance per
+    :class:`~repro.engine.context.ClusterContext`); purely diagnostic —
+    it never feeds the simulated clock.  The buckets:
+
+    ``submit_seconds``
+        Handing work to a worker: ``Process.start()`` on the fork-per-
+        task backend, ``Connection.send`` of a task batch on the pool.
+    ``serialize_seconds``
+        Pickling task batches / unpickling and copying out results
+        (driver side only; worker-side compute is reported separately).
+    ``ipc_wait_seconds``
+        Driver time blocked in ``multiprocessing.connection.wait`` for
+        worker pipes/sentinels.
+    ``compute_seconds``
+        In-task time: measured in the driver for in-driver backends,
+        reported by the worker for process-based ones.
+    ``payload_bytes``
+        Bytes that crossed a process boundary (pickle blobs plus
+        out-of-band arena buffers), both directions.
+    """
+
+    submit_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+    ipc_wait_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    payload_bytes: int = 0
+
+    def reset(self) -> None:
+        self.submit_seconds = 0.0
+        self.serialize_seconds = 0.0
+        self.ipc_wait_seconds = 0.0
+        self.compute_seconds = 0.0
+        self.payload_bytes = 0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "submit_seconds": self.submit_seconds,
+            "serialize_seconds": self.serialize_seconds,
+            "ipc_wait_seconds": self.ipc_wait_seconds,
+            "compute_seconds": self.compute_seconds,
+            "payload_bytes": self.payload_bytes,
+        }
+
+
 def _guard(task: Task) -> Callable[[], TaskOutcome]:
     """Turn a task into one that reports failure instead of raising."""
 
@@ -219,10 +292,23 @@ class Executor:
         if workers < 1:
             raise ValueError("local_workers must be >= 1")
         self.workers = workers
+        self.transport = TransportProfile()
         self._closed = False
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
         return [outcome.unwrap() for outcome in self.run_outcomes(tasks)]
+
+    def _run_inline(
+        self, tasks: Sequence[Task]
+    ) -> list[TaskOutcome]:
+        """In-driver fallback shared by the process-based backends for
+        degenerate batches (one task, or one worker)."""
+        outcomes = []
+        for task in tasks:
+            started = time.perf_counter()
+            outcomes.append(_guard(task)())
+            self.transport.compute_seconds += time.perf_counter() - started
+        return outcomes
 
     def run_outcomes(
         self,
@@ -262,7 +348,12 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
-        return [task() for task in tasks]
+        results = []
+        for task in tasks:
+            started = time.perf_counter()
+            results.append(task())
+            self.transport.compute_seconds += time.perf_counter() - started
+        return results
 
 
 class _TimedCall:
@@ -300,9 +391,18 @@ class ThreadExecutor(Executor):
         return self._pool
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
+        def _timed(task: Task) -> Any:
+            started = time.perf_counter()
+            result = task()
+            # float += is a single bytecode pair under the GIL; worst
+            # case a racing update is lost, which is fine for a
+            # diagnostic counter.
+            self.transport.compute_seconds += time.perf_counter() - started
+            return result
+
         if len(tasks) <= 1 or self.workers == 1:
-            return [task() for task in tasks]
-        return list(self._ensure_pool().map(lambda task: task(), tasks))
+            return [_timed(task) for task in tasks]
+        return list(self._ensure_pool().map(_timed, tasks))
 
     def run_outcomes(
         self,
@@ -347,6 +447,7 @@ class ThreadExecutor(Executor):
                     outcomes[i] = outcome
                     if call.duration is not None:
                         durations.append(call.duration)
+                        self.transport.compute_seconds += call.duration
             threshold = policy.threshold(durations, n)
             if threshold is None:
                 continue
@@ -554,7 +655,7 @@ class ProcessExecutor(Executor):
             # In-driver fallback: injected kills degrade to
             # SimulatedWorkerDeath (see FaultPlan.wrap), handled the same
             # way by the recovery layer.
-            return [_guard(task)() for task in tasks]
+            return self._run_inline(tasks)
         return self._run_forked(
             tasks, speculation, speculative_tasks or tasks, on_speculate
         )
@@ -567,7 +668,9 @@ class ProcessExecutor(Executor):
         proc = ctx.Process(
             target=_child_main, args=(fn, send_conn), daemon=True
         )
+        started = time.perf_counter()
         proc.start()
+        self.transport.submit_seconds += time.perf_counter() - started
         send_conn.close()
         self._children.add(proc)
         return _Child(
@@ -629,7 +732,11 @@ class ProcessExecutor(Executor):
                 timeout = (
                     policy.poll_interval_seconds if policy is not None else None
                 )
+                wait_started = time.perf_counter()
                 ready = mp_connection.wait(list(waitmap), timeout=timeout)
+                self.transport.ipc_wait_seconds += (
+                    time.perf_counter() - wait_started
+                )
                 handled: set[int] = set()
                 for obj in ready:
                     child = waitmap[obj]
@@ -689,8 +796,17 @@ class ProcessExecutor(Executor):
         i = child.index
         if msg is not None and msg[0] == "ok":
             if outcomes[i] is None:
+                unpack_started = time.perf_counter()
                 outcomes[i] = TaskOutcome(value=_unpack(msg[1]))
-                durations.append(time.monotonic() - child.started)
+                self.transport.serialize_seconds += (
+                    time.perf_counter() - unpack_started
+                )
+                duration = time.monotonic() - child.started
+                durations.append(duration)
+                self.transport.compute_seconds += duration
+                self.transport.payload_bytes += _result_nbytes(
+                    outcomes[i].value
+                )
             else:  # losing copy of a speculated task
                 _discard_packed(msg[1])
             return
@@ -716,6 +832,647 @@ class ProcessExecutor(Executor):
                 proc.terminate()
             proc.join(timeout=5.0)
             self._children.discard(proc)
+        super().close()
+
+
+# ----------------------------------------------------------------------
+# Pool backend: persistent forked workers, protocol-5 arena transport.
+# ----------------------------------------------------------------------
+
+# Buffers below this ride inside the pickle blob; parking them in the
+# arena only pays once the memcpy beats the pickle-copy + descriptor cost.
+_ARENA_MIN_BYTES = 1 << 14
+# First arena segment size; segments double (at least) on overflow, so a
+# steady-state workload settles into one segment per direction quickly.
+_ARENA_INITIAL_BYTES = 1 << 20
+
+
+def _unlink_segment_names(names: Sequence[str]) -> None:
+    """Best-effort unlink of shared-memory segments by name (cleanup of
+    a dead or stopped worker's arena; already-gone segments are fine)."""
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlink race
+            pass
+        seg.close()
+
+
+class _Arena:
+    """Grow-only shared-memory bump allocator, recycled between batches.
+
+    ``write`` appends raw bytes at the current offset and returns a
+    ``(segment_name, offset, nbytes)`` descriptor the peer can map.  When
+    a batch overflows the current segment, a larger one is created and
+    the old segment is *retired* — kept alive until the next ``recycle``
+    because descriptors already handed out may still point into it.
+    ``recycle`` (called once per batch, after the peer is done with the
+    previous batch's buffers) rewinds the offset and unlinks retired
+    segments, so steady state is zero segment churn: one mapping reused
+    for every task.
+    """
+
+    __slots__ = ("shm", "capacity", "offset", "retired", "segments_created")
+
+    def __init__(self) -> None:
+        self.shm: shared_memory.SharedMemory | None = None
+        self.capacity = 0
+        self.offset = 0
+        self.retired: list[shared_memory.SharedMemory] = []
+        self.segments_created = 0
+
+    def recycle(self) -> None:
+        self.offset = 0
+        for seg in self.retired:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - unlink race
+                pass
+            seg.close()
+        self.retired.clear()
+
+    def write(self, raw) -> tuple[str, int, int]:
+        nbytes = raw.nbytes
+        if self.shm is None or self.offset + nbytes > self.capacity:
+            grown = shared_memory.SharedMemory(
+                create=True,
+                size=max(_ARENA_INITIAL_BYTES, 2 * self.capacity, nbytes),
+            )
+            if self.shm is not None:
+                self.retired.append(self.shm)
+            self.shm = grown
+            self.capacity = grown.size
+            self.offset = 0
+            self.segments_created += 1
+        offset = self.offset
+        self.shm.buf[offset : offset + nbytes] = raw
+        self.offset = offset + nbytes
+        return (self.shm.name, offset, nbytes)
+
+    def destroy(self) -> None:
+        for seg in [*self.retired, self.shm]:
+            if seg is None:
+                continue
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+            seg.close()
+        self.retired.clear()
+        self.shm = None
+        self.capacity = 0
+        self.offset = 0
+
+
+class _ArenaReader:
+    """Read side of a peer's arena: maps segments by name, caches the
+    mappings so steady state opens no new segment per batch."""
+
+    __slots__ = ("segments",)
+
+    def __init__(self) -> None:
+        self.segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, name: str, offset: int, nbytes: int):
+        seg = self.segments.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            self.segments[name] = seg
+        return seg.buf[offset : offset + nbytes]
+
+    def prune(self, keep: frozenset | set) -> None:
+        """Drop mappings of segments the peer has retired.  A mapping
+        with live buffer views can't be closed yet (BufferError); it is
+        kept and retried on the next prune."""
+        for name in list(self.segments):
+            if name in keep:
+                continue
+            seg = self.segments.pop(name)
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - views still alive
+                self.segments[name] = seg
+
+    def close(self) -> None:
+        self.prune(frozenset())
+
+
+def _dump_with_arena(obj: Any, arena: _Arena, pickler: Any):
+    """Pickle ``obj`` with protocol 5, parking large contiguous buffers
+    in ``arena``; returns ``(blob, descriptors)``.  Non-contiguous or
+    small buffers stay in-band — correctness never depends on a buffer
+    taking the arena path."""
+    descriptors: list[tuple[str, int, int]] = []
+
+    # buffer_callback contract (PEP 574): a *truthy* return keeps the
+    # buffer in-band, a *falsy* one emits a NEXT_BUFFER opcode and makes
+    # the caller responsible for transporting it — here, via the arena.
+    def _callback(buffer: pickle.PickleBuffer) -> bool:
+        try:
+            raw = buffer.raw()
+        except Exception:  # noqa: BLE001 - non-contiguous: keep in-band
+            return True
+        if raw.nbytes < _ARENA_MIN_BYTES:
+            return True
+        descriptors.append(arena.write(raw))
+        return False
+
+    blob = pickler.dumps(obj, protocol=5, buffer_callback=_callback)
+    return blob, descriptors
+
+
+def _load_with_arena(
+    blob: bytes,
+    descriptors: Sequence[tuple[str, int, int]],
+    reader: _ArenaReader,
+) -> Any:
+    """Inverse of :func:`_dump_with_arena`; the result may hold views
+    into the peer's arena — copy before the next batch recycles it."""
+    buffers = [reader.view(*descriptor) for descriptor in descriptors]
+    return pickle.loads(blob, buffers=buffers)
+
+
+def _own_tree(obj: Any) -> Any:
+    """Deep-copy ndarrays that don't own writable data (arena views,
+    in-band protocol-5 buffers) so results outlive the arena slot they
+    arrived in — one memcpy per array, same cost as the shm path."""
+    if isinstance(obj, np.ndarray):
+        if obj.flags.owndata and obj.flags.writeable:
+            return obj
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_own_tree(o) for o in obj)
+    if isinstance(obj, list):
+        return [_own_tree(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _own_tree(v) for k, v in obj.items()}
+    return obj
+
+
+def _pool_worker_main(conn: mp_connection.Connection) -> None:
+    """Long-lived worker body: loop over task batches until "stop".
+
+    One ``("run", blob, descriptors)`` message carries a whole batch of
+    ``(key, fn)`` pairs; task buffers are read from the driver's task
+    arena, results are pickled per task with buffers parked in this
+    worker's own result arena (recycled each batch — no per-task segment
+    create/unlink).  Tasks run strictly in batch order, which is what
+    lets the driver attribute a silent death to the first unreported
+    task.  An injected kill ``os._exit``s inside ``fn`` — the arena
+    segments it leaves behind are unlinked by the driver (it learned
+    their names from earlier result descriptors) or, as a last resort,
+    by the shared resource tracker at interpreter exit.
+    """
+    reader = _ArenaReader()
+    arena = _Arena()
+    status = 0
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _tag, blob, descriptors = msg
+            arena.recycle()
+            reader.prune({descriptor[0] for descriptor in descriptors})
+            items = _load_with_arena(blob, descriptors, reader)
+            for key, fn in items:
+                started = time.perf_counter()
+                try:
+                    value = fn()
+                except BaseException as exc:  # noqa: BLE001 - outcome channel
+                    conn.send(
+                        (
+                            "err",
+                            key,
+                            _picklable_error(exc),
+                            time.perf_counter() - started,
+                        )
+                    )
+                    continue
+                payload, out_descriptors = _dump_with_arena(
+                    value, arena, pickle
+                )
+                del value
+                conn.send(
+                    (
+                        "ok",
+                        key,
+                        payload,
+                        out_descriptors,
+                        time.perf_counter() - started,
+                    )
+                )
+            del items
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    except BaseException:  # pragma: no cover - unexpected protocol error
+        status = 1
+    finally:
+        arena.destroy()
+        reader.close()
+        try:
+            conn.close()
+        except Exception:  # noqa: BLE001 - teardown
+            pass
+        os._exit(status)
+
+
+@dataclass
+class _PoolWorker:
+    """Driver-side record of one persistent pool worker."""
+
+    proc: Any
+    conn: mp_connection.Connection
+    task_arena: _Arena
+    reader: _ArenaReader
+    assigned: deque  # of (key, is_backup) in dispatch order
+    batch_started: float = 0.0
+
+
+class PoolExecutor(Executor):
+    """Persistent forked worker pool with zero-copy batch transport.
+
+    Workers are forked once (lazily, on the first multi-task batch) and
+    reused for every subsequent batch, so the fork + import-state cost is
+    paid ``workers`` times per executor lifetime instead of once per
+    task.  See the module docstring for the transport protocol; the
+    fault-tolerance contract (sentinel death detection, requeue of
+    unstarted work, respawn) matches the ``processes`` backend, so the
+    whole :class:`FaultPlan` / :func:`run_with_recovery` machinery works
+    unchanged on top of it.
+
+    ``task_batch`` caps how many tasks ship per IPC round; ``0`` picks
+    an adaptive size (``ceil(n / (2 * workers))``) that gives every
+    worker two rounds of work for tail balancing.  Batching only affects
+    transport — task identity, result order and fault-injection
+    coordinates are those of the flat task list.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self, workers: int | None = None, *, task_batch: int | None = None
+    ) -> None:
+        super().__init__(workers)
+        if "fork" not in mp.get_all_start_methods():
+            raise ValueError(
+                "the 'pool' backend needs the fork start method "
+                "(unavailable on this platform); use 'threads' instead"
+            )
+        if _cloudpickle is None:
+            raise ValueError(
+                "the 'pool' backend needs cloudpickle for task transport; "
+                "use 'processes' instead"
+            )
+        task_batch = 0 if task_batch is None else int(task_batch)
+        if task_batch < 0:
+            raise ValueError("task_batch must be >= 0 (0 = adaptive)")
+        self.task_batch = task_batch
+        self._pool: list[_PoolWorker] = []
+        self._mp_ctx: Any = None
+        self.workers_forked = 0
+        self.workers_respawned = 0
+        self.batches_sent = 0
+        global _REAPER_REGISTERED
+        _LIVE_PROCESS_EXECUTORS.add(self)
+        if not _REAPER_REGISTERED:
+            atexit.register(_reap_leaked_children)
+            _REAPER_REGISTERED = True
+
+    # ------------------------------------------------------------------
+    def arena_stats(self) -> dict[str, list[int]]:
+        """Per-live-worker arena segment counts (diagnostic/test hook):
+        how many task-arena segments the driver ever created for each
+        worker, and how many result-arena segments it currently maps.
+        Steady state is 1 and 1 — reuse, not churn."""
+        return {
+            "task_segments": [
+                w.task_arena.segments_created for w in self._pool
+            ],
+            "result_segments": [len(w.reader.segments) for w in self._pool],
+        }
+
+    def run_outcomes(
+        self,
+        tasks: Sequence[Task],
+        *,
+        speculation: SpeculationPolicy | None = None,
+        speculative_tasks: Sequence[Task] | None = None,
+        on_speculate: Callable[[int], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if not tasks:
+            return []
+        if len(tasks) <= 1 or self.workers == 1:
+            # In-driver fallback: injected kills degrade to
+            # SimulatedWorkerDeath (see FaultPlan.wrap).
+            return self._run_inline(tasks)
+        return self._run_pooled(
+            tasks, speculation, speculative_tasks or tasks, on_speculate
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._mp_ctx is None:
+            # Shared resource tracker before the first fork, for the same
+            # register/unregister balance reason as the processes backend.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+            self._mp_ctx = mp.get_context("fork")
+        while len(self._pool) < self.workers:
+            self._pool.append(self._fork_worker())
+
+    def _fork_worker(self) -> _PoolWorker:
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        proc = self._mp_ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        started = time.perf_counter()
+        proc.start()
+        self.transport.submit_seconds += time.perf_counter() - started
+        child_conn.close()
+        self.workers_forked += 1
+        return _PoolWorker(
+            proc=proc,
+            conn=parent_conn,
+            task_arena=_Arena(),
+            reader=_ArenaReader(),
+            assigned=deque(),
+        )
+
+    def _retire_worker(self, worker: _PoolWorker) -> None:
+        """Reap one worker (already stopped or dead) and unlink every
+        arena segment tied to it."""
+        worker.proc.join(timeout=5.0)
+        if worker.proc.is_alive():  # pragma: no cover - stuck worker
+            worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+        result_segments = list(worker.reader.segments)
+        worker.reader.close()
+        # A cleanly-stopped worker unlinked its own result arena; a
+        # killed one did not — unlink whatever is still there.
+        _unlink_segment_names(result_segments)
+        worker.task_arena.destroy()
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _replace_worker(self, worker: _PoolWorker) -> None:
+        self._retire_worker(worker)
+        self._pool[self._pool.index(worker)] = self._fork_worker()
+        self.workers_respawned += 1
+
+    def _send_batch(
+        self,
+        worker: _PoolWorker,
+        entries: list[tuple[int, Task, bool]],
+    ) -> bool:
+        """Ship one batch to a worker; False if the worker is gone (the
+        caller requeues the entries and replaces the worker)."""
+        worker.task_arena.recycle()
+        serialize_started = time.perf_counter()
+        payload = [(key, fn) for key, fn, _ in entries]
+        blob, descriptors = _dump_with_arena(
+            payload, worker.task_arena, _cloudpickle
+        )
+        send_started = time.perf_counter()
+        try:
+            worker.conn.send(("run", blob, descriptors))
+        except (OSError, ValueError):
+            return False
+        now = time.perf_counter()
+        self.transport.serialize_seconds += send_started - serialize_started
+        self.transport.submit_seconds += now - send_started
+        self.transport.payload_bytes += len(blob) + sum(
+            descriptor[2] for descriptor in descriptors
+        )
+        for key, _fn, is_backup in entries:
+            worker.assigned.append((key, is_backup))
+        worker.batch_started = time.monotonic()
+        self.batches_sent += 1
+        return True
+
+    def _copies_in_flight(self, key: int) -> bool:
+        return any(
+            assigned_key == key
+            for worker in self._pool
+            for assigned_key, _backup in worker.assigned
+        )
+
+    def _run_pooled(
+        self,
+        tasks: Sequence[Task],
+        policy: SpeculationPolicy | None,
+        duplicates: Sequence[Task],
+        on_speculate: Callable[[int], None] | None,
+    ) -> list[TaskOutcome]:
+        self._ensure_pool()
+        n = len(tasks)
+        outcomes: list[TaskOutcome | None] = [None] * n
+        held_errors: dict[int, BaseException] = {}
+        durations: list[float] = []
+        speculated: set[int] = set()
+        pending: deque[int] = deque(range(n))
+        limit = self.task_batch or max(1, -(-n // (2 * self.workers)))
+        while any(o is None for o in outcomes):
+            for worker in list(self._pool):
+                if worker.assigned or not pending:
+                    continue
+                entries = []
+                while pending and len(entries) < limit:
+                    i = pending.popleft()
+                    if outcomes[i] is None:
+                        entries.append((i, tasks[i], False))
+                if not entries:
+                    continue
+                if not self._send_batch(worker, entries):
+                    # Worker died while idle; requeue and respawn.
+                    pending.extendleft(
+                        key for key, _fn, _b in reversed(entries)
+                    )
+                    self._replace_worker(worker)
+            waitmap: dict[Any, _PoolWorker] = {}
+            for worker in self._pool:
+                if worker.assigned:
+                    waitmap[worker.conn] = worker
+                    waitmap[worker.proc.sentinel] = worker
+            if not waitmap:
+                continue  # conclusions above freed work; loop re-feeds
+            timeout = (
+                policy.poll_interval_seconds if policy is not None else None
+            )
+            wait_started = time.perf_counter()
+            ready = mp_connection.wait(list(waitmap), timeout=timeout)
+            self.transport.ipc_wait_seconds += (
+                time.perf_counter() - wait_started
+            )
+            handled: set[int] = set()
+            for obj in ready:
+                worker = waitmap[obj]
+                if id(worker) in handled:
+                    continue
+                handled.add(id(worker))
+                self._drain_worker(
+                    worker, outcomes, held_errors, durations, pending
+                )
+            if policy is not None:
+                self._maybe_speculate(
+                    policy,
+                    duplicates,
+                    outcomes,
+                    durations,
+                    speculated,
+                    on_speculate,
+                    n,
+                )
+        return outcomes  # type: ignore[return-value]
+
+    def _drain_worker(
+        self,
+        worker: _PoolWorker,
+        outcomes: list[TaskOutcome | None],
+        held_errors: dict[int, BaseException],
+        durations: list[float],
+        pending: deque[int],
+    ) -> None:
+        """Absorb everything a ready worker has to say, then check for
+        death.  Messages are drained before the liveness check so results
+        a worker managed to send before dying are never lost."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    break
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            self._absorb(worker, msg, outcomes, held_errors, durations)
+        if not worker.proc.is_alive() and worker.assigned:
+            self._handle_death(worker, outcomes, held_errors, pending)
+
+    def _absorb(
+        self,
+        worker: _PoolWorker,
+        msg: tuple,
+        outcomes: list[TaskOutcome | None],
+        held_errors: dict[int, BaseException],
+        durations: list[float],
+    ) -> None:
+        # Workers process and report strictly in dispatch order.
+        if worker.assigned:
+            worker.assigned.popleft()
+        worker.batch_started = time.monotonic()
+        key = msg[1]
+        if msg[0] == "ok":
+            _tag, _key, payload, descriptors, duration = msg
+            if outcomes[key] is None:
+                unpack_started = time.perf_counter()
+                value = _own_tree(
+                    _load_with_arena(payload, descriptors, worker.reader)
+                )
+                self.transport.serialize_seconds += (
+                    time.perf_counter() - unpack_started
+                )
+                outcomes[key] = TaskOutcome(value=value)
+                durations.append(duration)
+                self.transport.compute_seconds += duration
+                self.transport.payload_bytes += len(payload) + sum(
+                    descriptor[2] for descriptor in descriptors
+                )
+            # A losing speculative copy needs no drain: its arena slot is
+            # reclaimed wholesale at the worker's next batch recycle.
+            return
+        # ("err", key, exception, duration)
+        held_errors[key] = msg[2]
+        if outcomes[key] is None and not self._copies_in_flight(key):
+            outcomes[key] = TaskOutcome(error=held_errors[key])
+
+    def _handle_death(
+        self,
+        worker: _PoolWorker,
+        outcomes: list[TaskOutcome | None],
+        held_errors: dict[int, BaseException],
+        pending: deque[int],
+    ) -> None:
+        """A worker died with work outstanding.  In-order processing
+        means the first unreported assigned task was in progress and
+        takes the blame; the rest never started and are requeued (same
+        wrapped callables — the deterministic fault verdict is per
+        (batch, index, attempt), not per dispatch)."""
+        blamed_key, _blamed_backup = worker.assigned.popleft()
+        exitcode = worker.proc.exitcode
+        held_errors.setdefault(
+            blamed_key,
+            WorkerDied(
+                f"worker for task {blamed_key} exited with code {exitcode} "
+                "before reporting a result"
+            ),
+        )
+        unstarted = list(worker.assigned)
+        worker.assigned.clear()
+        self._replace_worker(worker)
+        for key, is_backup in unstarted:
+            if outcomes[key] is not None:
+                continue
+            if not is_backup:
+                pending.append(key)
+            elif not self._copies_in_flight(key) and key in held_errors:
+                # The backup vanished and its original already failed.
+                outcomes[key] = TaskOutcome(error=held_errors[key])
+        if outcomes[blamed_key] is None and not self._copies_in_flight(
+            blamed_key
+        ):
+            outcomes[blamed_key] = TaskOutcome(error=held_errors[blamed_key])
+
+    def _maybe_speculate(
+        self,
+        policy: SpeculationPolicy,
+        duplicates: Sequence[Task],
+        outcomes: list[TaskOutcome | None],
+        durations: list[float],
+        speculated: set[int],
+        on_speculate: Callable[[int], None] | None,
+        n: int,
+    ) -> None:
+        threshold = policy.threshold(durations, n)
+        if threshold is None:
+            return
+        idle = [
+            w for w in self._pool if not w.assigned and w.proc.is_alive()
+        ]
+        if not idle:
+            return
+        now = time.monotonic()
+        for worker in self._pool:
+            if not worker.assigned or not idle:
+                continue
+            key, is_backup = worker.assigned[0]
+            if (
+                is_backup
+                or key in speculated
+                or outcomes[key] is not None
+                or now - worker.batch_started <= threshold
+            ):
+                continue
+            target = idle.pop()
+            if self._send_batch(target, [(key, duplicates[key], True)]):
+                speculated.add(key)
+                if on_speculate is not None:
+                    on_speculate(key)
+
+    def close(self) -> None:
+        for worker in self._pool:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._pool:
+            self._retire_worker(worker)
+        self._pool.clear()
         super().close()
 
 
@@ -846,6 +1603,7 @@ _BACKENDS: dict[str, type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    PoolExecutor.name: PoolExecutor,
 }
 
 
@@ -883,10 +1641,40 @@ def _resolve_workers(workers: int | None) -> int | None:
     return value
 
 
+def resolve_task_batch(task_batch: int | None = None) -> int:
+    """Tasks per pool IPC round: explicit argument > ``REPRO_TASK_BATCH``
+    env var > ``0`` (adaptive — see :class:`PoolExecutor`)."""
+    if task_batch is None:
+        env = os.environ.get(TASK_BATCH_ENV_VAR)
+        if env is None or not env.strip():
+            return 0
+        try:
+            task_batch = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{TASK_BATCH_ENV_VAR} must be an integer, got {env!r}"
+            ) from exc
+    task_batch = int(task_batch)
+    if task_batch < 0:
+        raise ValueError(
+            f"task_batch must be >= 0 (0 = adaptive), got {task_batch}"
+        )
+    return task_batch
+
+
 def make_executor(
-    name: str | None = None, workers: int | None = None
+    name: str | None = None,
+    workers: int | None = None,
+    *,
+    task_batch: int | None = None,
 ) -> Executor:
     """Instantiate a backend; ``None`` arguments fall back to the
-    ``REPRO_EXECUTOR`` / ``REPRO_LOCAL_WORKERS`` environment variables,
-    then to ``serial`` with one worker per CPU."""
-    return _BACKENDS[resolve_backend(name)](_resolve_workers(workers))
+    ``REPRO_EXECUTOR`` / ``REPRO_LOCAL_WORKERS`` / ``REPRO_TASK_BATCH``
+    environment variables, then to ``serial`` with one worker per CPU."""
+    backend = resolve_backend(name)
+    if backend == PoolExecutor.name:
+        return PoolExecutor(
+            _resolve_workers(workers),
+            task_batch=resolve_task_batch(task_batch),
+        )
+    return _BACKENDS[backend](_resolve_workers(workers))

@@ -18,6 +18,15 @@ recovery layer (:func:`repro.engine.executor.run_with_recovery`) reports
 record_recovery`.  These counters never feed the scheduler, so the
 Fig. 8-12 stage records and makespans are byte-identical whether a run
 recovered from faults or saw none (asserted in tests).
+
+Physical dispatch is metered the same way — outside the simulated
+series: ``tasks_emitted`` counts logical per-partition tasks the planner
+produced, ``tasks_dispatched`` the physical executor tasks they were
+coalesced into, ``tasks_inlined`` the empty-partition chains run in the
+driver instead of scheduled; ``transport_breakdown()`` exposes the
+executor's wall-clock overhead profile (submit/serialize/ipc/compute).
+``n_tasks`` remains the *simulated* task count and is identical under
+any coalescing setting.
 """
 
 from __future__ import annotations
@@ -57,10 +66,20 @@ class SimulationMetrics:
     tasks_retried: int = 0
     tasks_speculated: int = 0
     recovery_recompute_bytes: int = 0
+    # Physical dispatch accounting (wall-clock side of the two clocks):
+    # logical tasks emitted by the planner vs. executor tasks actually
+    # dispatched after coalescing, plus empty chains run in the driver.
+    tasks_emitted: int = 0
+    tasks_dispatched: int = 0
+    tasks_inlined: int = 0
     # Live view of the owning context's BlockStore accounting (attached
     # by the context, shared across reset_metrics): real driver-process
     # bytes, not simulated cluster bytes.
     storage: object = None
+    # Live view of the executor's TransportProfile (attached by the
+    # context, which zeroes it on reset_metrics so the breakdown spans
+    # the same window as every other counter here).
+    transport: object = None
 
     def __post_init__(self) -> None:
         if self.node_busy_seconds is None:
@@ -127,6 +146,31 @@ class SimulationMetrics:
         """Bind the context's live :class:`~repro.engine.storage.
         StorageStats` so block-tier accounting surfaces here."""
         self.storage = stats
+
+    def attach_transport(self, profile) -> None:
+        """Bind the executor's live :class:`~repro.engine.executor.
+        TransportProfile` so per-task overhead surfaces here."""
+        self.transport = profile
+
+    def transport_breakdown(self) -> dict:
+        """The executor's wall-clock overhead profile as a plain dict
+        (zeros when no executor transport is attached)."""
+        if self.transport is None:
+            return {
+                "submit_seconds": 0.0,
+                "serialize_seconds": 0.0,
+                "ipc_wait_seconds": 0.0,
+                "compute_seconds": 0.0,
+                "payload_bytes": 0,
+            }
+        return self.transport.as_dict()
+
+    @property
+    def dispatch_ratio(self) -> float:
+        """Logical-to-physical task ratio (>= 1 under coalescing)."""
+        if self.tasks_dispatched == 0:
+            return 1.0
+        return self.tasks_emitted / self.tasks_dispatched
 
     @property
     def storage_memory_bytes(self) -> int:

@@ -32,6 +32,23 @@ operator and the engine behaves exactly like the pre-DAG versions —
 kept alive as the reference the equivalence tests and the CI off-run
 compare against.
 
+**Adaptive partition coalescing** sits below the simulated-metrics
+boundary, exactly like fusion: when ``target_partition_bytes`` is
+nonzero, :func:`fuse_and_run` groups consecutive fused partition chains
+into *physical* executor tasks of roughly that many input bytes (never
+fewer than ``_MIN_COALESCED_CHUNKS`` chunks, so small-stage dispatch is
+untouched), and runs empty-partition chains inline in the driver instead
+of scheduling them at all.  The grouping is a pure function of cached
+partition byte metadata and per-op ``bytes_hint``s — deterministic and
+backend-independent, so the physical task list (and with it the
+fault-injection coordinates) is identical on every backend.  Each member
+chain still times its own operator segments, so the simulated stage
+records — task indices, byte volumes, node assignments — are
+byte-identical coalesced or not (asserted in tests); only wall-clock
+dispatch overhead changes.  ``target_partition_bytes=0`` (env token
+``off``) disables coalescing and restores the one-task-per-partition
+dispatch.
+
 Recomputation semantics match Spark: forcing an RDD caches *its own*
 partitions, never the intermediates of its lineage.  Forking two lazy
 branches off one unforced, unpersisted RDD therefore re-runs the shared
@@ -59,7 +76,10 @@ import numpy as np
 
 __all__ = [
     "FUSION_ENV_VAR",
+    "TARGET_PARTITION_BYTES_ENV_VAR",
+    "DEFAULT_TARGET_PARTITION_BYTES",
     "resolve_fusion",
+    "resolve_target_partition_bytes",
     "PendingOp",
     "Pipe",
     "StageGroup",
@@ -67,6 +87,19 @@ __all__ = [
 ]
 
 FUSION_ENV_VAR = "REPRO_FUSION"
+TARGET_PARTITION_BYTES_ENV_VAR = "REPRO_TARGET_PARTITION_BYTES"
+
+# Default physical task grain: ~4 MiB of input per executor task, the
+# point where per-task dispatch overhead stops mattering relative to
+# NumPy kernel time on the partition.
+DEFAULT_TARGET_PARTITION_BYTES = 4 * 1024 * 1024
+
+# Never coalesce below this many physical tasks: small stages keep their
+# one-task-per-partition dispatch (parallelism is worth more than grain
+# there), and existing dispatch-count expectations stay exact.
+_MIN_COALESCED_CHUNKS = 8
+
+_TARGET_OFF_TOKENS = frozenset({"off", "none", "0", "disabled"})
 
 _OFF_VALUES = frozenset({"off", "0", "false", "no"})
 _ON_VALUES = frozenset({"on", "1", "true", "yes"})
@@ -90,6 +123,30 @@ def resolve_fusion(flag: bool | None = None) -> bool:
     )
 
 
+def resolve_target_partition_bytes(value: int | str | None = None) -> int:
+    """Resolve the coalescing grain: explicit argument > the
+    ``REPRO_TARGET_PARTITION_BYTES`` env var > 4 MiB.  Accepts byte
+    counts or human sizes (``"256KB"``); ``0`` / ``"off"`` / ``"none"``
+    disables coalescing."""
+    from repro.engine.storage import parse_size
+
+    if value is None:
+        raw = os.environ.get(TARGET_PARTITION_BYTES_ENV_VAR)
+        if raw is None or not raw.strip():
+            return DEFAULT_TARGET_PARTITION_BYTES
+        value = raw
+    if isinstance(value, str):
+        if value.strip().lower() in _TARGET_OFF_TOKENS:
+            return 0
+        value = parse_size(value)
+    target = int(value)
+    if target < 0:
+        raise ValueError(
+            f"target_partition_bytes must be >= 0 (0 = off), got {target}"
+        )
+    return target
+
+
 # Monotone ids give pending ops a global creation order; stages are
 # recorded in that order at force time, matching the call order the
 # eager path would have recorded them in.
@@ -103,12 +160,20 @@ class PendingOp:
     ``n_tasks`` / ``multiplier`` freeze the shape of the RDD the op was
     applied to: partition *i* of that RDD is simulated task *i* of this
     stage, whichever union position the partition later travels in.
+
+    ``bytes_hint`` (optional, one entry per task index) estimates the
+    op's output bytes for the coalescer — essential for generate-style
+    stages whose *anchor* is empty: without a hint their input-byte
+    estimate is zero and they would all collapse into the driver-inline
+    path.  Order-of-magnitude accuracy is enough; hints only weight the
+    chunk boundaries, never the simulated metrics.
     """
 
     fn: Callable[[Sequence[np.ndarray], int], Sequence[np.ndarray]]
     stage: str
     n_tasks: int
     multiplier: int
+    bytes_hint: tuple[int, ...] | None = None
     seq: int = field(default_factory=lambda: next(_op_ids))
 
 
@@ -190,6 +255,40 @@ def _make_fused_task(ref, ops, validate, writer=None, out_name=None):
     return _task
 
 
+def _make_chunk_task(subtasks):
+    """One physical executor task running several fused partition chains
+    back to back — what the coalescer dispatches.  Returns the list of
+    per-chain ``(payload, segments)`` results; each member chain still
+    times its own operator segments, so the simulated stage records are
+    harvested exactly as if every chain had been its own task."""
+
+    def _task():
+        return [task() for task in subtasks]
+
+    def _recovery_bytes(values):
+        return sum(
+            task.recovery_bytes(value)
+            for task, value in zip(subtasks, values)
+        )
+
+    _task.recovery_bytes = _recovery_bytes
+    return _task
+
+
+def _estimate_partition_bytes(pipe: Pipe) -> int:
+    """Deterministic size estimate for one pipe: the anchor partition's
+    stored bytes (cached metadata — spilled blocks are never loaded)
+    maxed with any operator ``bytes_hint``.  A pure function of plan
+    state, never of executor parallelism, so the chunk composition it
+    drives is identical on every backend."""
+    estimate = int(pipe.base.partition_bytes()[pipe.index])
+    for op, task_index in pipe.ops:
+        hint = op.bytes_hint
+        if hint is not None and task_index < len(hint):
+            estimate = max(estimate, int(hint[task_index]))
+    return estimate
+
+
 def fuse_and_run(ctx, pipes: Sequence[Pipe], *, target_id: int = 0):
     """Execute a partition-pipe plan; return ``(results, stage_groups)``.
 
@@ -200,7 +299,16 @@ def fuse_and_run(ctx, pipes: Sequence[Pipe], *, target_id: int = 0):
     :class:`~repro.engine.storage.BlockId` for pipes with an empty chain
     (pure union passthrough) — resolved by reference on the driver: no
     task, no copy, no stage record, exactly like the eager ``union``.
+
+    With a nonzero ``ctx.target_partition_bytes``, chains estimated at
+    zero bytes (empty partitions, e.g. a ``split_array`` over fewer rows
+    than partitions or a zero-count generate slot) run inline in the
+    driver — their operator functions, segment timings and stage records
+    are exactly those of a dispatched task, minus the dispatch — and the
+    rest are coalesced into ~target-sized physical tasks via
+    :func:`~repro.engine.partitioner.chunk_weights`.
     """
+    from repro.engine.partitioner import chunk_weights
     from repro.engine.rdd import _validate_partition
     from repro.engine.storage import BlockId
 
@@ -215,27 +323,69 @@ def fuse_and_run(ctx, pipes: Sequence[Pipe], *, target_id: int = 0):
     store = ctx.storage
     writer = store.block_writer() if store.spill_task_outputs else None
     work = [(i, pipe) for i, pipe in enumerate(pipes) if pipe.ops]
-    outs = ctx.run_tasks(
-        [
-            _make_fused_task(
-                pipe.base._task_ref(pipe.index),
-                pipe.ops,
-                _validate_partition,
-                writer,
-                BlockId(target_id, i).filename if writer else None,
-            )
-            for i, pipe in work
-        ]
-    ) if work else []
+
+    def _task_for(i: int, pipe: Pipe):
+        return _make_fused_task(
+            pipe.base._task_ref(pipe.index),
+            pipe.ops,
+            _validate_partition,
+            writer,
+            BlockId(target_id, i).filename if writer else None,
+        )
 
     results: list = [None] * len(pipes)
     for i, pipe in enumerate(pipes):
         if not pipe.ops:
             results[i] = pipe.base._blocks[pipe.index]
     raw_segments: list[tuple[int, int, float, int]] = []
-    for (i, _pipe), (payload, segments) in zip(work, outs):
-        results[i] = payload
-        raw_segments.extend(segments)
+
+    target = getattr(ctx, "target_partition_bytes", 0)
+    if target and len(work) > 1:
+        estimates = [_estimate_partition_bytes(pipe) for _, pipe in work]
+        inline = [k for k, est in enumerate(estimates) if est == 0]
+        remote = [k for k, est in enumerate(estimates) if est > 0]
+        for k in inline:
+            i, pipe = work[k]
+            payload, segments = _task_for(i, pipe)()
+            results[i] = payload
+            raw_segments.extend(segments)
+        groups = (
+            chunk_weights(
+                [estimates[k] for k in remote],
+                target,
+                min_chunks=_MIN_COALESCED_CHUNKS,
+            )
+            if remote
+            else []
+        )
+        chunk_tasks = []
+        chunk_members = []
+        for group in groups:
+            members = [remote[position] for position in group]
+            chunk_tasks.append(
+                _make_chunk_task([_task_for(*work[k]) for k in members])
+            )
+            chunk_members.append(members)
+        ctx.metrics.tasks_inlined += len(inline)
+        if chunk_tasks:
+            outs = ctx.run_tasks(chunk_tasks, emitted=len(work))
+        else:
+            ctx.metrics.tasks_emitted += len(work)
+            outs = []
+        for members, chunk_out in zip(chunk_members, outs):
+            for k, (payload, segments) in zip(members, chunk_out):
+                i, _pipe = work[k]
+                results[i] = payload
+                raw_segments.extend(segments)
+    else:
+        outs = (
+            ctx.run_tasks([_task_for(i, pipe) for i, pipe in work])
+            if work
+            else []
+        )
+        for (i, _pipe), (payload, segments) in zip(work, outs):
+            results[i] = payload
+            raw_segments.extend(segments)
 
     ops_by_seq = {
         op.seq: op for pipe in pipes for op, _ in pipe.ops

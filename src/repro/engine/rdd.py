@@ -425,6 +425,7 @@ class ArrayRDD:
         fn: Callable[[Columns, int], Sequence[np.ndarray]],
         *,
         stage: str = "map_partitions",
+        bytes_hint: Sequence[int] | np.ndarray | None = None,
     ) -> "ArrayRDD":
         """Apply ``fn(columns, partition_index) -> columns`` per partition.
 
@@ -432,12 +433,22 @@ class ArrayRDD:
         immediately; the fused task chain runs (concurrently, on the
         context's executor backend) when an action forces the result.
         This is the workhorse all other transformations build on.
+
+        ``bytes_hint`` — optional per-partition output-byte estimates for
+        the coalescing planner; only needed when the op *grows* its data
+        far beyond the anchor (generate stages on empty anchors most of
+        all).  Purely a dispatch-grain weight, never simulated cost.
         """
         op = PendingOp(
             fn=fn,
             stage=stage,
             n_tasks=self.n_partitions,
             multiplier=self.task_multiplier,
+            bytes_hint=(
+                None
+                if bytes_hint is None
+                else tuple(int(b) for b in bytes_hint)
+            ),
         )
         if self._is_anchor:
             pipes = [

@@ -18,6 +18,14 @@ stage makespan for a cluster of ``n_nodes`` identical compute nodes:
   the serialisation/shuffle I/O that dominates real Spark tasks at scale
   and gives the generation-time curves their linear-in-size region
   (Fig. 9).
+
+The scheduler always sees the *logical* per-partition task set: adaptive
+partition coalescing (:mod:`repro.engine.plan`) may batch several small
+partitions into one physical executor dispatch, but each member still
+reports its own measured segment, so the simulated stage records,
+makespans and memory meters are byte-identical under any
+``target_partition_bytes`` setting.  Physical dispatch counts live in
+``SimulationMetrics.tasks_dispatched``, never here.
 """
 
 from __future__ import annotations

@@ -22,7 +22,12 @@ When a budget is active, tasks write their output columns to a block
 file *worker-side* via a picklable :class:`BlockWriter` and return a
 small :class:`SpilledBlockHandle` instead of the arrays themselves, so
 the driver never holds a whole dataset at once and the processes
-backend ships blocks via files rather than shared-memory pickles.
+backend ships blocks via files rather than shared-memory pickles.  The
+persistent pool backend composes with this transparently: a spill
+handle is a few hundred bytes, far below the shared-memory arena's
+out-of-band threshold, so budgeted results ride in-band through the
+pipe and bypass the arena entirely — the file on disk *is* the
+transport.
 
 Durability: :meth:`BlockStore.checkpoint_block` moves a block's file
 into the checkpoints directory and marks it ``durable``.  Durable

@@ -53,7 +53,7 @@ class TestExecutorBasics:
             ex.close()
 
     def test_backend_registry(self):
-        assert BACKENDS == ("serial", "threads", "processes")
+        assert BACKENDS == ("serial", "threads", "processes", "pool")
         with pytest.raises(ValueError):
             make_executor("cluster")
         with pytest.raises(ValueError):
