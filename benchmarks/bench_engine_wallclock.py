@@ -28,11 +28,23 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   unlimited memory budget versus a 64 MiB one, asserting byte-identical
   datasets and stage structures while the budgeted run's peak
   tracemalloc stays near the budget and the overflow lands on disk
-  (reported: peaks, disk high-water, spill/reload counts, wall ratio).
+  (reported: peaks, disk high-water, spill/reload counts, wall ratio);
+* the block codec trade-off surface: the same spill pipeline once per
+  codec (raw / zlib / lzma / mmap) under a tight 8 MiB budget,
+  asserting byte-identical datasets and stage structures while
+  reporting disk written, compression ratio and real encode/decode
+  seconds per codec;
+* out-of-core generation: weak-scaling PGPBA structure growth to 10^8
+  edges under a 1 GiB budget with the zlib codec and the external-sort
+  shuffle (wall, edges/s, tracemalloc peak vs budget, disk high-water,
+  compression ratio), plus a parity matrix re-growing the smallest size
+  on every backend x codec under an 8 MiB budget and asserting digest +
+  stage equality with an unbudgeted in-memory reference run.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the sweep to a CI-sized smoke run
 (~30 s); ``REPRO_BENCH_EDGES`` overrides the size list directly, e.g.
-``REPRO_BENCH_EDGES=100000,1000000``.
+``REPRO_BENCH_EDGES=100000,1000000``; ``REPRO_BENCH_OOC_EDGES``
+overrides the out-of-core size list the same way.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_engine_wallclock.py``)
 or via pytest like the figure benches.
@@ -462,12 +474,201 @@ def run_storage_spill() -> dict:
     }
 
 
+_CODEC_NAMES = ("raw", "zlib", "lzma", "mmap")
+
+
+def _codec_rows() -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 400_000
+    return 4_000_000
+
+
+def run_storage_codec() -> dict:
+    """The grow/distinct spill pipeline under a tight budget, once per
+    block codec: identical dataset and simulated stage structure by
+    contract, with the disk footprint, compression ratio and real
+    encode/decode seconds as the codec trade-off surface."""
+    rows = _codec_rows()
+    budget = 8 * 2**20  # tight: everything transits the codec
+    codecs_out: dict[str, dict] = {}
+    structures: dict[str, list] = {}
+    for codec in _CODEC_NAMES:
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", memory_budget_bytes=budget,
+            block_codec=codec,
+        ) as ctx:
+            final, wall = measure_wall(lambda: _spill_pipeline(ctx, rows))
+            digest = _spill_digest(final)
+            structures[codec] = _stage_structure(ctx)
+            stats = ctx.storage.stats
+            codecs_out[codec] = {
+                "wall_seconds": round(wall, 4),
+                "disk_high_water_bytes": int(
+                    ctx.metrics.storage_disk_high_water_bytes
+                ),
+                "disk_written_bytes": int(stats.disk_written_bytes),
+                "disk_written_logical_bytes": int(
+                    stats.disk_written_logical_bytes
+                ),
+                "compression_ratio": round(stats.compression_ratio(), 3),
+                "codec_encode_seconds": round(
+                    stats.codec_encode_seconds, 4
+                ),
+                "codec_decode_seconds": round(
+                    stats.codec_decode_seconds, 4
+                ),
+                "digest": digest,
+            }
+    return {
+        "rows": rows,
+        "budget_bytes": budget,
+        "codecs": codecs_out,
+        "digests_match": len(
+            {c["digest"] for c in codecs_out.values()}
+        ) == 1,
+        "stage_structure_match": all(
+            structures[c] == structures["raw"] for c in _CODEC_NAMES
+        ),
+    }
+
+
+def _out_of_core_sizes() -> list[int]:
+    override = os.environ.get("REPRO_BENCH_OOC_EDGES")
+    if override:
+        return [int(s) for s in override.split(",") if s.strip()]
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return [200_000, 1_000_000]
+    return [1_000_000, 10_000_000, 100_000_000]
+
+
+def _out_of_core_budget() -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 64 * 2**20
+    return 1 << 30  # 1 GiB
+
+
+def run_out_of_core(seed_bundle) -> dict:
+    """Weak-scaling PGPBA structure growth to 10^8 edges, out of core.
+
+    Each size runs ``PGPBA.grow_structure`` (no decoration, no collect)
+    under the memory budget with the zlib codec and the external-sort
+    shuffle; the grown edge multiset lives in spilled compressed blocks
+    and the driver digests it one partition at a time.  The reported
+    wall clock includes the tracemalloc hooks (one pass measures both —
+    a 10^8-edge second pass would double the bench time for a constant
+    factor).
+
+    The parity matrix re-grows the smallest size on every available
+    backend under every codec with an 8 MiB budget and checks digest +
+    simulated-stage equality against an unbudgeted in-memory reference
+    run — the out-of-core acceptance bar.
+    """
+    graph, analysis = seed_bundle.graph, seed_bundle.analysis
+    budget = _out_of_core_budget()
+    sizes = _out_of_core_sizes()
+    scaling: list[dict] = []
+    for size in sizes:
+        with ClusterContext(
+            n_nodes=4, executor_cores=12, partition_multiplier=2,
+            executor="serial", memory_budget_bytes=budget,
+            block_codec="zlib", shuffle="extsort",
+        ) as ctx:
+            gen = PGPBA(fraction=2.0, seed=11)
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            (edges, n_vertices, iterations), wall = measure_wall(
+                lambda: gen.grow_structure(
+                    graph, analysis, size, context=ctx
+                )
+            )
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            n_edges = int(edges.count())
+            digest = _spill_digest(edges)
+            m = ctx.metrics
+            stats = ctx.storage.stats
+            scaling.append(
+                {
+                    "target_edges": size,
+                    "edges": n_edges,
+                    "n_vertices": int(n_vertices),
+                    "iterations": int(iterations),
+                    "wall_seconds": round(wall, 4),
+                    "edges_per_second": int(n_edges / max(wall, 1e-9)),
+                    "peak_tracemalloc_bytes": int(peak),
+                    "under_budget": int(peak) <= budget + 64 * 2**20,
+                    "disk_high_water_bytes": int(
+                        m.storage_disk_high_water_bytes
+                    ),
+                    "compression_ratio": round(
+                        stats.compression_ratio(), 3
+                    ),
+                    "spill_count": int(m.storage_spill_count),
+                    "reload_count": int(m.storage_reload_count),
+                    "digest": digest,
+                }
+            )
+            edges.unpersist()
+
+    # Parity: the smallest size, unbudgeted in-memory reference vs every
+    # backend x codec under an 8 MiB budget.
+    parity_size = sizes[0]
+    with ClusterContext(
+        n_nodes=4, executor_cores=12, partition_multiplier=2,
+        executor="serial",
+    ) as ref_ctx:
+        gen = PGPBA(fraction=2.0, seed=11)
+        ref_edges, _, _ = gen.grow_structure(
+            graph, analysis, parity_size, context=ref_ctx
+        )
+        ref_digest = _spill_digest(ref_edges)
+        ref_structure = _stage_structure(ref_ctx)
+        ref_edges.unpersist()
+    parity: list[dict] = []
+    for backend in BACKENDS:
+        for codec in _CODEC_NAMES:
+            with ClusterContext(
+                n_nodes=4, executor_cores=12, partition_multiplier=2,
+                executor=backend, memory_budget_bytes=8 * 2**20,
+                block_codec=codec, shuffle="extsort",
+            ) as ctx:
+                gen = PGPBA(fraction=2.0, seed=11)
+                edges, _, _ = gen.grow_structure(
+                    graph, analysis, parity_size, context=ctx
+                )
+                digest = _spill_digest(edges)
+                structure = _stage_structure(ctx)
+                edges.unpersist()
+            parity.append(
+                {
+                    "backend": backend,
+                    "codec": codec,
+                    "digest_match": digest == ref_digest,
+                    "stage_structure_match": structure == ref_structure,
+                }
+            )
+    return {
+        "budget_bytes": budget,
+        "scaling": scaling,
+        "parity_target_edges": parity_size,
+        "parity_reference_digest": ref_digest,
+        "parity": parity,
+        "parity_all_match": all(
+            p["digest_match"] and p["stage_structure_match"]
+            for p in parity
+        ),
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
     shuffle = run_shuffle_memory()
     fusion = run_fusion_comparison()
     recovery = run_fault_recovery()
     spill = run_storage_spill()
+    codec = run_storage_codec()
+    out_of_core = run_out_of_core(seed_bundle)
     report = {
         "cpu_count": os.cpu_count(),
         "backends": backends,
@@ -475,6 +676,8 @@ def run_engine_wallclock(seed_bundle) -> dict:
         "stage_fusion": fusion,
         "fault_recovery": recovery,
         "storage_spill": spill,
+        "storage_codec": codec,
+        "out_of_core": out_of_core,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -544,6 +747,65 @@ def run_engine_wallclock(seed_bundle) -> dict:
         f"{spill['mem_unlimited_over_budgeted']:.2f}x memory saved "
         f"(digests match: {spill['digests_match']}, "
         f"stages match: {spill['stage_structure_match']})"
+    )
+    print(
+        "\n== storage codecs: grow/distinct "
+        f"({codec['rows']:,} rows, serial backend, "
+        f"{codec['budget_bytes'] / 2**20:.0f} MiB budget) =="
+    )
+    codec_rows = [
+        [
+            name,
+            f"{c['wall_seconds']:.3f}",
+            f"{c['disk_written_bytes'] / 2**20:.1f}",
+            f"{c['compression_ratio']:.2f}x",
+            f"{c['codec_encode_seconds']:.3f}",
+            f"{c['codec_decode_seconds']:.3f}",
+        ]
+        for name, c in codec["codecs"].items()
+    ]
+    print(
+        format_table(
+            ["codec", "wall s", "disk MiB", "ratio", "enc s", "dec s"],
+            codec_rows,
+        )
+    )
+    print(
+        f"digests match: {codec['digests_match']}, "
+        f"stages match: {codec['stage_structure_match']}"
+    )
+    ooc = out_of_core
+    print(
+        "\n== out-of-core PGPBA structure growth "
+        f"(zlib + extsort, {ooc['budget_bytes'] / 2**20:.0f} MiB "
+        "budget, serial backend) =="
+    )
+    ooc_rows = [
+        [
+            f"{s['target_edges']:,}",
+            f"{s['edges']:,}",
+            f"{s['wall_seconds']:.1f}",
+            f"{s['edges_per_second']:,}",
+            f"{s['peak_tracemalloc_bytes'] / 2**20:.0f}",
+            f"{s['disk_high_water_bytes'] / 2**20:.0f}",
+            f"{s['compression_ratio']:.2f}x",
+            str(s["under_budget"]),
+        ]
+        for s in ooc["scaling"]
+    ]
+    print(
+        format_table(
+            [
+                "target", "edges", "wall s", "edges/s", "peak MiB",
+                "disk MiB", "ratio", "under budget",
+            ],
+            ooc_rows,
+        )
+    )
+    print(
+        f"parity at {ooc['parity_target_edges']:,} edges across "
+        f"{len(ooc['parity'])} backend x codec runs: "
+        f"all match = {ooc['parity_all_match']}"
         f"\n\nwritten to {JSON_PATH}"
     )
     return report
@@ -684,6 +946,45 @@ def test_engine_wallclock(benchmark, seed_bundle):
     assert budgeted["peak_tracemalloc_bytes"] <= ceiling, (
         f"budgeted peak {budgeted['peak_tracemalloc_bytes']:,} exceeds "
         f"budget + allowance {ceiling:,}"
+    )
+
+    # Storage codecs: pure physical knobs — identical dataset and
+    # simulated stages for every codec; the compressing codecs really
+    # shrank the on-disk footprint of the spilled integer columns.
+    codec = report["storage_codec"]
+    assert codec["digests_match"], "a block codec changed the dataset"
+    assert codec["stage_structure_match"], (
+        "a block codec changed the simulated stage structure"
+    )
+    for name in ("zlib", "lzma"):
+        assert codec["codecs"][name]["compression_ratio"] >= 1.2, (
+            f"{name} failed to compress the spilled columns: "
+            f"{codec['codecs'][name]['compression_ratio']:.2f}x"
+        )
+        assert (
+            codec["codecs"][name]["disk_written_bytes"]
+            < codec["codecs"]["raw"]["disk_written_bytes"]
+        )
+
+    # Out of core: every scaling point stayed under the memory budget
+    # (plus the transient allowance) while the grown edge set lived on
+    # disk, and the budgeted backend x codec matrix reproduced the
+    # unbudgeted in-memory reference bit for bit.
+    ooc = report["out_of_core"]
+    for point in ooc["scaling"]:
+        assert point["under_budget"], (
+            f"{point['target_edges']:,}-edge growth peaked at "
+            f"{point['peak_tracemalloc_bytes']:,} bytes over the "
+            f"{ooc['budget_bytes']:,}-byte budget"
+        )
+        assert point["edges"] >= point["target_edges"]
+        assert point["disk_high_water_bytes"] > 0
+    assert ooc["parity_all_match"], (
+        "out-of-core runs diverged from the in-memory reference: "
+        + ", ".join(
+            f"{p['backend']}/{p['codec']}" for p in ooc["parity"]
+            if not (p["digest_match"] and p["stage_structure_match"])
+        )
     )
 
     # Parallel wall-clock win is only observable with real cores.

@@ -101,6 +101,25 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
         "tempdir); each run uses its own session subdirectory, removed "
         "on close",
     )
+    p.add_argument(
+        "--block-codec", choices=("raw", "zlib", "lzma", "mmap"),
+        default=None,
+        help="on-disk format for spilled blocks, shuffle segments and "
+        "checkpoints: 'raw' = uncompressed .npz, 'zlib'/'lzma' = "
+        "chunk-compressed columnar .blk, 'mmap' = uncompressed .blk "
+        "read back via memory mapping (default: REPRO_BLOCK_CODEC env "
+        "var, then raw); results and simulated metrics are "
+        "byte-identical under every codec, only disk bytes and "
+        "wall-clock encode/decode time change",
+    )
+    p.add_argument(
+        "--shuffle", choices=("exchange", "extsort"), default=None,
+        help="distinct() shuffle strategy: 'exchange' hash-exchanges "
+        "whole partitions, 'extsort' spills sorted runs and streams a "
+        "k-way merge so reduce-side memory stays bounded by the run "
+        "chunk size (default: REPRO_SHUFFLE env var, then exchange); "
+        "output and simulated metrics are byte-identical either way",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,6 +199,8 @@ def _make_context(args):
         speculation=args.speculation,
         memory_budget_bytes=args.memory_budget,
         spill_dir=args.spill_dir,
+        block_codec=args.block_codec,
+        shuffle=args.shuffle,
         target_partition_bytes=args.target_partition_bytes,
         task_batch=args.task_batch,
     )
@@ -279,10 +300,13 @@ def _fmt_bytes(n: int) -> str:
 
 def _cmd_engine_info(args) -> int:
     from repro.engine import (
+        BLOCK_CODEC_ENV_VAR,
         MEMORY_BUDGET_ENV_VAR,
+        SHUFFLE_ENV_VAR,
         SPILL_DIR_ENV_VAR,
         TARGET_PARTITION_BYTES_ENV_VAR,
         TASK_BATCH_ENV_VAR,
+        get_codec,
         resolve_task_batch,
     )
 
@@ -321,6 +345,13 @@ def _cmd_engine_info(args) -> int:
             ("spill dir",
              spill_base if spill_base is not None else "(system tempdir)",
              source(args.spill_dir is not None, SPILL_DIR_ENV_VAR)),
+            ("block codec",
+             f"{ctx.storage.codec} "
+             f"(*{get_codec(ctx.storage.codec).extension})",
+             source(args.block_codec is not None, BLOCK_CODEC_ENV_VAR)),
+            ("shuffle",
+             ctx.shuffle_strategy,
+             source(args.shuffle is not None, SHUFFLE_ENV_VAR)),
             ("target partition",
              _fmt_bytes(ctx.target_partition_bytes)
              if ctx.target_partition_bytes else "off (no coalescing)",

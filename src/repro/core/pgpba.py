@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.generator import GenerationResult, SeedAnalysis
 from repro.engine.context import ClusterContext
 from repro.engine.storage import StorageLevel
+from repro.engine.stream import iter_repeat_chunks
 from repro.graph.property_graph import PropertyGraph
 from repro.netflow.attributes import NETFLOW_EDGE_ATTRIBUTES
 
@@ -94,15 +95,24 @@ class PGPBA:
         self.storage_level = StorageLevel.coerce(self.storage_level)
 
     # ------------------------------------------------------------------
-    def generate(
+    def grow_structure(
         self,
         seed_graph: PropertyGraph,
         analysis: SeedAnalysis,
         desired_size: int,
         *,
         context: ClusterContext | None = None,
-    ) -> GenerationResult:
-        """Grow ``seed_graph`` until it holds ``desired_size`` edges."""
+    ):
+        """Run the growth loop only (Fig. 2 lines 1-14), no collect.
+
+        Returns ``(edges, n_vertices, iterations)`` where ``edges`` is the
+        persisted two-column edge RDD.  This is the out-of-core entry
+        point: under a memory budget with ``storage_level="disk_only"``
+        the grown edge multiset lives in spilled codec blocks end to end
+        and the driver never materialises it — callers stream or digest
+        the partitions themselves.  :meth:`generate` builds on this and
+        adds the decoration + collect tail.
+        """
         if seed_graph.n_edges == 0:
             raise ValueError("PGPBA needs a non-empty seed graph")
         if desired_size < seed_graph.n_edges:
@@ -111,7 +121,6 @@ class PGPBA:
                 f"({seed_graph.n_edges} edges); PGPBA only grows graphs"
             )
         ctx = context or ClusterContext(n_nodes=1)
-        start_clock = ctx.metrics.simulated_seconds
 
         # The edge RDD is the loop-carried state: persist it so every
         # iteration's sample reads the pinned partitions instead of
@@ -145,25 +154,28 @@ class PGPBA:
             rng_base = self.seed * 1_000_003 + iterations
 
             def _grow(cols, pidx, _off=offsets, _rb=rng_base):
+                # Streaming emitter: every random value is drawn up front
+                # (pick, out_deg, in_deg — the exact draw order of the
+                # materialised version, so the RNG stream and therefore
+                # the output are bit-identical), then the np.repeat
+                # expansion — the part whose output dwarfs its input —
+                # is yielded in bounded row chunks.  Under a memory
+                # budget each chunk flushes straight into the spill
+                # codec; the full partition edge array never exists.
                 src, dst = cols
                 m = src.size
                 if m == 0:
                     empty = np.empty(0, np.int64)
-                    return empty, empty
+                    yield empty, empty
+                    return
                 rng = np.random.default_rng((_rb, pidx))
                 new_v = _off[pidx] + np.arange(m, dtype=np.int64)
                 pick = rng.random(m) < 0.5
                 dest_v = np.where(pick, src, dst)
                 out_deg = out_dist.sample(m, rng).astype(np.int64)
                 in_deg = in_dist.sample(m, rng).astype(np.int64)
-                out_src = np.repeat(new_v, out_deg)
-                out_dst = np.repeat(dest_v, out_deg)
-                in_src = np.repeat(dest_v, in_deg)
-                in_dst = np.repeat(new_v, in_deg)
-                return (
-                    np.concatenate([out_src, in_src]),
-                    np.concatenate([out_dst, in_dst]),
-                )
+                yield from iter_repeat_chunks((new_v, dest_v), out_deg)
+                yield from iter_repeat_chunks((dest_v, new_v), in_deg)
 
             # Growth multiplies each sampled edge into ~mean_new_edges
             # new ones (two int64 columns each); hint that expansion so
@@ -173,7 +185,7 @@ class PGPBA:
                 sizes * 16, (sizes * mean_new_edges * 16).astype(np.int64)
             )
             new_edges = sampled.map_partitions(
-                _grow, stage="pa:grow", bytes_hint=grow_hint
+                _grow, stage="pa:grow", bytes_hint=grow_hint, stream=True
             )
             n_vertices += n_new
             n_edges += new_edges.count()
@@ -193,6 +205,24 @@ class PGPBA:
                 f"PGPBA did not reach {desired_size} edges within "
                 f"{self.max_iterations} iterations (got {n_edges})"
             )
+        return edges, n_vertices, iterations
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        seed_graph: PropertyGraph,
+        analysis: SeedAnalysis,
+        desired_size: int,
+        *,
+        context: ClusterContext | None = None,
+    ) -> GenerationResult:
+        """Grow ``seed_graph`` until it holds ``desired_size`` edges."""
+        ctx = context or ClusterContext(n_nodes=1)
+        start_clock = ctx.metrics.simulated_seconds
+
+        edges, n_vertices, iterations = self.grow_structure(
+            seed_graph, analysis, desired_size, context=ctx
+        )
 
         structure_clock = ctx.metrics.simulated_seconds
 

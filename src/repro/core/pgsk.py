@@ -29,8 +29,9 @@ from repro.core.generator import GenerationResult, SeedAnalysis
 from repro.core.pgpba import _decorate
 from repro.engine.context import ClusterContext
 from repro.engine.storage import StorageLevel
+from repro.engine.stream import iter_repeat_chunks
 from repro.graph.property_graph import PropertyGraph
-from repro.kronecker.expand import descend_batch
+from repro.kronecker.expand import descend_batch_chunks
 from repro.kronecker.initiator import InitiatorMatrix
 from repro.kronecker.kronfit import kronfit
 
@@ -139,12 +140,15 @@ class PGSK:
             rng_tag = (self.seed, k, rounds)
 
             def _descend(count, pidx, _tag=rng_tag):
+                # Chunked descent is bit-identical to one whole-batch
+                # draw (see descend_batch_chunks); streaming it lets a
+                # budgeted run flush each window through the spill codec
+                # instead of materialising the partition's edge arrays.
                 rng = np.random.default_rng((*_tag, pidx))
-                s, d = descend_batch(initiator, k, count, rng)
-                return s, d
+                yield from descend_batch_chunks(initiator, k, count, rng)
 
             batch = ctx.generate(
-                batch_size, _descend, stage="kron:descend"
+                batch_size, _descend, stage="kron:descend", stream=True
             )
             merged = batch if edges is None else edges.union(batch)
             if self.deduplicate:
@@ -176,11 +180,15 @@ class PGSK:
         dup_seed = (self.seed, 17)
 
         def _duplicate(cols, pidx):
+            # Multiplicities are drawn whole (same RNG stream as the
+            # materialised version); only the np.repeat expansion is
+            # chunked, so output is bit-identical while peak memory
+            # stays bounded by the emit-chunk size.
             s, d = cols
             rng = np.random.default_rng((*dup_seed, pidx))
             n = dup_dist.sample(s.size, rng).astype(np.int64)
             n = np.maximum(n, 1)
-            return np.repeat(s, n), np.repeat(d, n)
+            yield from iter_repeat_chunks((s, d), n)
 
         distinct_edges = edges
         # Persist the multigraph: both the property-decoration pass and
@@ -193,7 +201,8 @@ class PGSK:
             distinct_edges.partition_bytes() * mean_dup
         ).astype(np.int64)
         edges = distinct_edges.map_partitions(
-            _duplicate, stage="kron:duplicate", bytes_hint=dup_hint
+            _duplicate, stage="kron:duplicate", bytes_hint=dup_hint,
+            stream=True,
         ).persist(self.storage_level)
         # Force now so the duplication stage is charged to the structure
         # clock (not the property clock) exactly as on the eager path.

@@ -54,20 +54,35 @@ from repro.engine.plan import (
     resolve_fusion,
     resolve_target_partition_bytes,
 )
-from repro.engine.rdd import ArrayRDD
+from repro.engine.rdd import SHUFFLE_ENV_VAR, ArrayRDD, resolve_shuffle
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.metrics import SimulationMetrics, TaskRecord
 from repro.engine.storage import (
+    BLOCK_CODEC_ENV_VAR,
+    CODEC_CHUNK_BYTES_ENV_VAR,
+    CODECS,
+    DEFAULT_CODEC,
     MEMORY_BUDGET_ENV_VAR,
     SPILL_DIR_ENV_VAR,
+    BlockCodec,
     BlockId,
     BlockStore,
     SpilledBlockHandle,
     StorageLevel,
     StorageStats,
+    get_codec,
     parse_size,
+    resolve_block_codec,
+    resolve_codec_chunk_bytes,
     resolve_memory_budget,
     resolve_spill_dir,
+)
+from repro.engine.stream import (
+    EMIT_CHUNK_ROWS_ENV_VAR,
+    EXTSORT_CHUNK_ROWS_ENV_VAR,
+    iter_repeat_chunks,
+    resolve_emit_chunk_rows,
+    resolve_extsort_chunk_rows,
 )
 
 __all__ = [
@@ -106,12 +121,27 @@ __all__ = [
     "resolve_speculation",
     "MEMORY_BUDGET_ENV_VAR",
     "SPILL_DIR_ENV_VAR",
+    "BLOCK_CODEC_ENV_VAR",
+    "CODEC_CHUNK_BYTES_ENV_VAR",
+    "SHUFFLE_ENV_VAR",
+    "EMIT_CHUNK_ROWS_ENV_VAR",
+    "EXTSORT_CHUNK_ROWS_ENV_VAR",
+    "CODECS",
+    "DEFAULT_CODEC",
+    "BlockCodec",
     "BlockId",
     "BlockStore",
     "SpilledBlockHandle",
     "StorageLevel",
     "StorageStats",
+    "get_codec",
     "parse_size",
+    "iter_repeat_chunks",
+    "resolve_block_codec",
+    "resolve_codec_chunk_bytes",
+    "resolve_emit_chunk_rows",
+    "resolve_extsort_chunk_rows",
     "resolve_memory_budget",
+    "resolve_shuffle",
     "resolve_spill_dir",
 ]

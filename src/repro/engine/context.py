@@ -57,7 +57,7 @@ from repro.engine.faults import (
 from repro.engine.metrics import SimulationMetrics
 from repro.engine.partitioner import split_array, split_count
 from repro.engine.plan import resolve_fusion, resolve_target_partition_bytes
-from repro.engine.rdd import ArrayRDD, Columns
+from repro.engine.rdd import ArrayRDD, Columns, resolve_shuffle
 from repro.engine.scheduler import ClusterScheduler, NodeSpec
 from repro.engine.storage import BlockStore
 
@@ -89,6 +89,8 @@ class ClusterContext:
         speculation: bool | SpeculationPolicy | None = None,
         memory_budget_bytes: int | str | None = None,
         spill_dir: str | None = None,
+        block_codec: str | None = None,
+        shuffle: str | None = None,
     ) -> None:
         if partition_multiplier < 1:
             raise ValueError("partition_multiplier must be >= 1")
@@ -149,9 +151,19 @@ class ClusterContext:
         # store LRU-spills blocks to disk and tasks write their outputs
         # as block files directly.  Monotone RDD ids key the blocks (and
         # the persist accounting — id() reuse can never alias entries).
+        # Block codec: explicit argument > REPRO_BLOCK_CODEC > "raw".
+        # Every spill / shuffle-segment / checkpoint file the context
+        # writes goes through this codec; reads sniff the file format,
+        # so mixed-codec spill directories are still readable.
         self.storage = BlockStore(
-            memory_budget_bytes=memory_budget_bytes, spill_dir=spill_dir
+            memory_budget_bytes=memory_budget_bytes,
+            spill_dir=spill_dir,
+            codec=block_codec,
         )
+        # distinct() shuffle strategy: explicit argument > REPRO_SHUFFLE
+        # > "exchange".  "extsort" swaps the reduce-side hash bucket for
+        # the external merge sort (byte-identical output).
+        self.shuffle_strategy = resolve_shuffle(shuffle)
         self._rdd_ids = itertools.count()
         self.metrics.attach_storage(self.storage.stats)
         self.metrics.attach_transport(
@@ -263,12 +275,20 @@ class ClusterContext:
         *,
         n_partitions: int | None = None,
         stage: str = "generate",
+        stream: bool = False,
     ) -> ArrayRDD:
         """Create an RDD by running ``fn(count, partition_index)`` per
         partition — the pattern behind PGSK's parallel recursive descent,
         where an "initially empty RDD ... is partitioned among the
         available compute nodes" and each node generates edges
-        independently."""
+        independently.
+
+        ``stream=True`` declares that ``fn`` yields bounded column
+        chunks instead of returning one column tuple: under a memory
+        budget each chunk flushes straight through the block store, so
+        a partition's edge array never materializes whole in a worker
+        (the Yoo & Henderson independent-draws pattern at 10^8+ edges).
+        """
         nominal = max(1, n_partitions or self.default_partitions)
         real, multiplier = self._real_and_multiplier(nominal)
         counts = split_count(total, real)
@@ -287,7 +307,7 @@ class ClusterContext:
         # (~2 int64 columns per item); zero-count slots stay at zero and
         # are correctly pruned to inline execution.
         return seedless.map_partitions(
-            _gen, stage=stage, bytes_hint=counts * 16
+            _gen, stage=stage, bytes_hint=counts * 16, stream=stream
         )
 
     # ------------------------------------------------------------------

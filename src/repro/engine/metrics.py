@@ -206,6 +206,30 @@ class SimulationMetrics:
             else int(self.storage.disk_high_water_bytes)
         )
 
+    @property
+    def storage_disk_logical_bytes(self) -> int:
+        """Pre-codec array bytes the current on-disk blocks represent."""
+        return (
+            0 if self.storage is None
+            else int(self.storage.disk_logical_bytes)
+        )
+
+    @property
+    def storage_compression_ratio(self) -> float:
+        """Logical/actual byte ratio over every block the codec wrote."""
+        return (
+            1.0 if self.storage is None
+            else float(self.storage.compression_ratio())
+        )
+
+    @property
+    def storage_codec_seconds(self) -> float:
+        """Driver-observed encode + decode time inside the block codec."""
+        return (
+            0.0 if self.storage is None
+            else float(self.storage.codec_seconds)
+        )
+
     # ------------------------------------------------------------------
     @property
     def n_tasks(self) -> int:

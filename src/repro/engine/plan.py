@@ -167,6 +167,12 @@ class PendingOp:
     estimate is zero and they would all collapse into the driver-inline
     path.  Order-of-magnitude accuracy is enough; hints only weight the
     chunk boundaries, never the simulated metrics.
+
+    ``stream`` marks an op whose ``fn`` returns an *iterator of column
+    chunks* instead of one column tuple.  Under a memory budget a
+    terminal streaming op flushes each chunk straight through the block
+    writer (the partition edge array never materializes in the task);
+    otherwise the chunks are concatenated — bit-identical either way.
     """
 
     fn: Callable[[Sequence[np.ndarray], int], Sequence[np.ndarray]]
@@ -174,6 +180,7 @@ class PendingOp:
     n_tasks: int
     multiplier: int
     bytes_hint: tuple[int, ...] | None = None
+    stream: bool = False
     seq: int = field(default_factory=lambda: next(_op_ids))
 
 
@@ -224,7 +231,56 @@ def _make_fused_task(ref, ops, validate, writer=None, out_name=None):
     def _task():
         current = ref.load()
         segments = []
-        for op, task_index in ops:
+        handle = None
+        n_ops = len(ops)
+        for oi, (op, task_index) in enumerate(ops):
+            if op.stream:
+                # Streaming op: fn returns an iterator of column chunks.
+                # Only the generator's own compute (the next() calls) is
+                # timed — chunk serialization is storage I/O, untimed
+                # like every other block write, so the simulated stage
+                # costs match the monolithic path.
+                gen = iter(op.fn(current, task_index))
+                current = None  # the input dies as chunks stream out
+                terminal_spill = oi == n_ops - 1 and writer is not None
+                out_writer = (
+                    writer.open_chunked(out_name) if terminal_spill else None
+                )
+                chunks = None if terminal_spill else []
+                elapsed = 0.0
+                nbytes_out = 0
+                n_chunks = 0
+                while True:
+                    t0 = time.perf_counter()
+                    try:
+                        chunk = next(gen)
+                    except StopIteration:
+                        elapsed += time.perf_counter() - t0
+                        break
+                    elapsed += time.perf_counter() - t0
+                    chunk = validate(chunk)
+                    nbytes_out += sum(c.nbytes for c in chunk)
+                    n_chunks += 1
+                    if out_writer is not None:
+                        out_writer.append_columns(chunk)
+                    else:
+                        chunks.append(chunk)
+                if n_chunks == 0:
+                    raise ValueError(
+                        f"streaming op {op.stage!r} yielded no chunks"
+                    )
+                segments.append((op.seq, task_index, elapsed, nbytes_out))
+                if out_writer is not None:
+                    handle = out_writer.close()
+                else:
+                    width = len(chunks[0])
+                    current = tuple(
+                        chunks[0][j]
+                        if len(chunks) == 1
+                        else np.concatenate([ch[j] for ch in chunks])
+                        for j in range(width)
+                    )
+                continue
             t0 = time.perf_counter()
             current = validate(op.fn(current, task_index))
             elapsed = time.perf_counter() - t0
@@ -236,6 +292,8 @@ def _make_fused_task(ref, ops, validate, writer=None, out_name=None):
                     sum(c.nbytes for c in current),
                 )
             )
+        if handle is not None:
+            return handle, segments
         if writer is not None:
             return writer.write(out_name, current), segments
         return current, segments
@@ -330,7 +388,7 @@ def fuse_and_run(ctx, pipes: Sequence[Pipe], *, target_id: int = 0):
             pipe.ops,
             _validate_partition,
             writer,
-            BlockId(target_id, i).filename if writer else None,
+            writer.name_for(BlockId(target_id, i)) if writer else None,
         )
 
     results: list = [None] * len(pipes)

@@ -58,18 +58,48 @@ fault plan.
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
 import os
 import time
 import weakref
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.engine.partitioner import split_count
 from repro.engine.plan import PendingOp, Pipe, fuse_and_run
 from repro.engine.storage import BlockId, SpilledBlockHandle, StorageLevel
+from repro.engine.storage.codecs import (
+    array_dtypes,
+    iter_column_chunks,
+    read_arrays,
+)
+from repro.engine.stream import resolve_extsort_chunk_rows
 
-__all__ = ["ArrayRDD"]
+__all__ = ["ArrayRDD", "SHUFFLE_ENV_VAR", "resolve_shuffle"]
+
+SHUFFLE_ENV_VAR = "REPRO_SHUFFLE"
+
+_SHUFFLE_MODES = ("exchange", "extsort", "collect")
+
+
+def resolve_shuffle(value: "str | None" = None) -> str:
+    """Resolve the distinct() shuffle strategy: arg > env > 'exchange'."""
+
+    if value is None:
+        value = os.environ.get(SHUFFLE_ENV_VAR)
+        if value is None:
+            return "exchange"
+    name = str(value).strip().lower()
+    if not name:
+        return "exchange"
+    if name not in _SHUFFLE_MODES:
+        raise ValueError(
+            f"unknown shuffle {name!r}; expected one of: "
+            + ", ".join(_SHUFFLE_MODES)
+        )
+    return name
 
 Columns = tuple[np.ndarray, ...]
 
@@ -426,6 +456,7 @@ class ArrayRDD:
         *,
         stage: str = "map_partitions",
         bytes_hint: Sequence[int] | np.ndarray | None = None,
+        stream: bool = False,
     ) -> "ArrayRDD":
         """Apply ``fn(columns, partition_index) -> columns`` per partition.
 
@@ -438,6 +469,12 @@ class ArrayRDD:
         the coalescing planner; only needed when the op *grows* its data
         far beyond the anchor (generate stages on empty anchors most of
         all).  Purely a dispatch-grain weight, never simulated cost.
+
+        ``stream=True`` declares that ``fn`` returns an *iterator of
+        column chunks* rather than one column tuple: under a memory
+        budget a terminal streaming op writes each chunk through the
+        block store as it is produced (bounded task memory), otherwise
+        the chunks are concatenated — bit-identical results either way.
         """
         op = PendingOp(
             fn=fn,
@@ -449,6 +486,7 @@ class ArrayRDD:
                 if bytes_hint is None
                 else tuple(int(b) for b in bytes_hint)
             ),
+            stream=stream,
         )
         if self._is_anchor:
             pipes = [
@@ -502,7 +540,7 @@ class ArrayRDD:
     def distinct(
         self, *, key_columns: tuple[int, int] | int = 0,
         stage: str = "distinct",
-        shuffle: str = "exchange",
+        shuffle: "str | None" = None,
     ) -> "ArrayRDD":
         """Remove duplicate rows, keying on one int column or a pair.
 
@@ -513,7 +551,9 @@ class ArrayRDD:
         fusion barrier: it forces the map side and returns a
         materialized RDD.
 
-        ``shuffle="exchange"`` (default) is a real hash exchange: every
+        ``shuffle`` defaults to the context's strategy
+        (``ClusterContext(shuffle=)`` / ``REPRO_SHUFFLE``, normally
+        ``"exchange"``).  ``"exchange"`` is a real hash exchange: every
         map task buckets its rows by ``hash(key) % n_partitions`` on the
         executor and the reduce-side unique runs per-partition on the
         executor.  Without a memory budget the driver concatenates
@@ -523,6 +563,14 @@ class ArrayRDD:
         the block store and the reduce tasks read their slots back, so
         no stage ever holds more than one partition in memory and a
         10^7-row distinct runs under a fixed budget.
+        ``shuffle="extsort"`` replaces the reduce-side hash bucket with
+        an external merge sort: map tasks write key-sorted,
+        codec-compressed runs (one per destination) and reduce tasks
+        stream a ``heapq.merge`` k-way merge over the run chunk
+        iterators, keeping first occurrences — peak reduce memory is
+        bounded by chunk size x runs plus the distinct survivors, never
+        the full duplicate-laden bucket.  Its output (rows *and* row
+        order) is byte-identical to the exchange path.
         ``shuffle="collect"`` keeps the legacy collect-everything path
         (used by the memory benchmarks as the comparison baseline).
         The shuffle is charged to the simulated clock via the reduce
@@ -532,8 +580,11 @@ class ArrayRDD:
             key_cols: tuple[int, ...] = (key_columns,)
         else:
             key_cols = tuple(key_columns)
-        if shuffle not in ("exchange", "collect"):
-            raise ValueError("shuffle must be 'exchange' or 'collect'")
+        shuffle = (
+            resolve_shuffle(shuffle)
+            if shuffle is not None
+            else getattr(self._ctx, "shuffle_strategy", "exchange")
+        )
 
         n_parts = self.n_partitions
         map_side = self.map_partitions(
@@ -541,11 +592,14 @@ class ArrayRDD:
             stage=f"{stage}:map",
         )
         rdd_id: int | None = None
-        if shuffle == "exchange":
+        if shuffle in ("exchange", "extsort"):
             map_side._force()
             # The exchange consumes the map side: its blocks are released
             # as soon as every map task has re-bucketed its input.
-            results, task_cpu, driver_cpu, rdd_id = _exchange_shuffle(
+            shuffle_fn = (
+                _exchange_shuffle if shuffle == "exchange" else _extsort_shuffle
+            )
+            results, task_cpu, driver_cpu, rdd_id = shuffle_fn(
                 self._ctx, map_side, key_cols, n_parts
             )
             del map_side
@@ -658,9 +712,32 @@ class ArrayRDD:
         rdd_id = self._ctx._next_rdd_id()
 
         def _make_task(mine: list[tuple[int, int, int]], p: int):
-            out_name = BlockId(rdd_id, p).filename
+            out_name = (
+                writer.name_for(BlockId(rdd_id, p))
+                if writer is not None
+                else None
+            )
 
             def _task():
+                if writer is not None:
+                    # Budgeted: stream source slices straight into the
+                    # output block file, one source at a time — peak
+                    # task memory is one source partition plus the
+                    # codec's chunk buffers, never the full destination.
+                    out = writer.open_chunked(out_name)
+                    elapsed = 0.0
+                    if not mine:
+                        template = template_ref.load()
+                        t0 = time.perf_counter()
+                        out.append_columns(tuple(c[:0] for c in template))
+                        elapsed += time.perf_counter() - t0
+                    for s, a, b in mine:
+                        src = refs[s].load()
+                        t0 = time.perf_counter()
+                        out.append_columns(tuple(c[a:b] for c in src))
+                        elapsed += time.perf_counter() - t0
+                        del src
+                    return out.close(), elapsed
                 loaded = [(refs[s].load(), a, b) for s, a, b in mine]
                 if not loaded and template_ref is not None:
                     template = template_ref.load()
@@ -676,8 +753,6 @@ class ArrayRDD:
                         for j in range(n_cols)
                     )
                 elapsed = time.perf_counter() - t0
-                if writer is not None:
-                    return writer.write(out_name, cols), elapsed
                 return cols, elapsed
 
             return _task
@@ -799,7 +874,7 @@ def _exchange_shuffle(
         refs = [map_side._task_ref(i) for i in range(n_src)]
 
         def _make_segment_task(ref, mi: int):
-            name = f"ex{shuffle_id}-m{mi}.npz"
+            name = f"ex{shuffle_id}-m{mi}{seg_writer.extension}"
 
             def _task():
                 cols = ref.load()
@@ -819,24 +894,32 @@ def _exchange_shuffle(
             [_make_segment_task(r, mi) for mi, r in enumerate(refs)]
         )
         map_cpu = [o[1] for o in outs]
-        seg_paths = [o[0][0] for o in outs]
-        seg_bytes = int(sum(o[0][1] for o in outs))
-        store.track_shuffle_segments(seg_bytes, n_src)
+        seg_infos = [o[0] for o in outs]
+        seg_paths = [info.path for info in seg_infos]
+        seg_disk = int(sum(info.disk_bytes for info in seg_infos))
+        seg_logical = int(sum(info.logical_bytes for info in seg_infos))
+        store.track_shuffle_segments(
+            seg_disk,
+            seg_logical,
+            n_src,
+            sum(info.seconds for info in seg_infos),
+        )
         refs = None
         map_side._release_now()  # segments now hold the data
 
         block_writer = store.block_writer()
 
         def _make_reduce_task(p: int):
-            out_name = BlockId(rdd_id, p).filename
+            out_name = block_writer.name_for(BlockId(rdd_id, p))
+            slot_names = [f"d{p}c{j}" for j in range(n_cols)]
 
             def _task():
                 t0 = time.perf_counter()
                 per_col: list[list[np.ndarray]] = [[] for _ in range(n_cols)]
                 for path in seg_paths:
-                    with np.load(path) as segment:
-                        for j in range(n_cols):
-                            per_col[j].append(segment[f"d{p}c{j}"])
+                    slots = read_arrays(path, slot_names)
+                    for j in range(n_cols):
+                        per_col[j].append(slots[j])
                 cols = tuple(
                     np.concatenate(per_col[j]) for j in range(n_cols)
                 )
@@ -854,7 +937,7 @@ def _exchange_shuffle(
                 os.unlink(path)
             except OSError:
                 pass
-        store.untrack_shuffle_segments(seg_bytes)
+        store.untrack_shuffle_segments(seg_disk, seg_logical)
         results = [r[0] for r in reduced]
         task_cpu = [map_cpu[p] + reduced[p][1] for p in range(n_parts)]
         return results, task_cpu, 0.0, rdd_id
@@ -909,6 +992,187 @@ def _exchange_shuffle(
     out_parts = [r[0] for r in reduced]
     task_cpu = [bucket_cpu[p] + reduced[p][1] for p in range(n_parts)]
     return out_parts, task_cpu, driver_seconds, rdd_id
+
+
+# Global first-occurrence positions pack (map_index, local_index) into
+# one int64: map index in the high bits, routed-row index in the low 44.
+# Ascending pos is exactly the order the exchange reduce would see after
+# concatenating map segments, which is what makes the two paths emit
+# byte-identical partitions.
+_EXTSORT_POS_SHIFT = np.int64(44)
+
+
+def _run_row_iter(
+    path: str, n_cols: int, key_cols: tuple[int, ...]
+) -> Iterator[tuple]:
+    """Stream one sorted run as ``(key..., pos, values...)`` tuples.
+
+    Reads one chunk per column at a time (chunks are row-aligned across
+    a run's columns by construction), so resident bytes per run are one
+    chunk per column — the k-way merge's memory bound.  Values are
+    converted via ``tolist`` to native Python scalars: comparisons in
+    ``heapq.merge`` get cheaper and int64/float64 round-trip exactly.
+    """
+
+    iters = [iter_column_chunks(path, f"c{j}") for j in range(n_cols + 1)]
+    for chunks in zip(*iters):
+        lists = [c.tolist() for c in chunks]
+        key_lists = [lists[kc] for kc in key_cols]
+        pos_list = lists[n_cols]
+        yield from zip(*key_lists, pos_list, *lists[:n_cols])
+
+
+def _extsort_shuffle(
+    ctx, map_side: "ArrayRDD", key_cols: tuple[int, ...], n_parts: int
+):
+    """External merge-sort shuffle + streaming first-occurrence dedup.
+
+    Same contract as :func:`_exchange_shuffle` (and byte-identical
+    output), different memory shape: map tasks route rows with the
+    identical ``_route`` hash, key-sort each destination's slice
+    (stable, so equal keys stay in first-occurrence order), attach the
+    packed global position, and write one codec-compressed sorted run
+    per destination in bounded chunks.  Reduce tasks never concatenate
+    a bucket: ``heapq.merge`` streams the k runs in ``(key, pos)``
+    order, the first row of every equal-key group (= the globally
+    first occurrence, because pos is the concatenation order) survives,
+    and survivors are re-sorted by pos so the output rows and row order
+    match the hash-exchange reduce exactly.  Peak reduce memory is
+    O(chunk_rows x columns x runs) for the merge plus the distinct
+    survivors — duplicates are dropped on the fly and never buffered.
+    """
+    store = ctx.storage
+    n_src = map_side.n_partitions
+    n_cols = map_side.n_columns
+    rdd_id = ctx._next_rdd_id()
+    chunk_rows = resolve_extsort_chunk_rows()
+    shuffle_id = store.new_shuffle_id()
+    seg_writer = store.shuffle_writer()
+    if seg_writer.codec == "raw":
+        # The memory bound requires chunked reads on the merge side, and
+        # the raw .npz container cannot deliver them (numpy loads members
+        # whole).  Runs are shuffle-internal temporaries, so quietly use
+        # the uncompressed chunked .blk container instead; spilled
+        # *output* blocks still honour the configured codec.
+        seg_writer = dataclasses.replace(seg_writer, codec="mmap")
+    spill_outputs = store.spill_task_outputs
+    refs = [map_side._task_ref(i) for i in range(n_src)]
+
+    def _run_name(mi: int, p: int) -> str:
+        return f"es{shuffle_id}-m{mi}-d{p}{seg_writer.extension}"
+
+    def _make_run_task(ref, mi: int):
+        names = [_run_name(mi, p) for p in range(n_parts)]
+
+        def _task():
+            cols = ref.load()
+            t0 = time.perf_counter()
+            order, splits = _route(cols, key_cols, n_parts)
+            base = np.int64(mi) << _EXTSORT_POS_SHIFT
+            runs = []
+            for p in range(n_parts):
+                sel = order[splits[p]:splits[p + 1]]
+                rows = tuple(c[sel] for c in cols)
+                pos = base + np.arange(sel.size, dtype=np.int64)
+                if len(key_cols) == 1:
+                    sort_idx = np.argsort(rows[key_cols[0]], kind="stable")
+                else:
+                    # primary key first: lexsort keys are last-significant
+                    sort_idx = np.lexsort(
+                        (rows[key_cols[1]], rows[key_cols[0]])
+                    )
+                runs.append(
+                    (tuple(r[sort_idx] for r in rows), pos[sort_idx])
+                )
+            elapsed = time.perf_counter() - t0
+            infos = []
+            for p, (rows, pos) in enumerate(runs):
+                run_writer = seg_writer.open_chunked(names[p])
+                if pos.size == 0:
+                    # register dtypes so the reduce side can reconstruct
+                    # empty columns exactly
+                    run_writer.append_columns(
+                        tuple(r[:0] for r in rows) + (pos[:0],)
+                    )
+                else:
+                    for lo in range(0, pos.size, chunk_rows):
+                        hi = lo + chunk_rows
+                        run_writer.append_columns(
+                            tuple(r[lo:hi] for r in rows) + (pos[lo:hi],)
+                        )
+                infos.append(run_writer.close())
+            return infos, elapsed
+
+        return _task
+
+    outs = ctx.run_tasks(
+        [_make_run_task(r, mi) for mi, r in enumerate(refs)]
+    )
+    map_cpu = [o[1] for o in outs]
+    run_paths = [[info.path for info in o[0]] for o in outs]
+    seg_disk = int(sum(i.disk_bytes for o in outs for i in o[0]))
+    seg_logical = int(sum(i.nbytes for o in outs for i in o[0]))
+    seg_seconds = sum(i.codec_seconds for o in outs for i in o[0])
+    store.track_shuffle_segments(
+        seg_disk, seg_logical, n_src * n_parts, seg_seconds
+    )
+    refs = None
+    map_side._release_now()  # sorted runs now hold the data
+
+    block_writer = store.block_writer() if spill_outputs else None
+    n_key = len(key_cols)
+
+    def _make_merge_task(p: int):
+        paths = [run_paths[mi][p] for mi in range(n_src)]
+        out_name = (
+            block_writer.name_for(BlockId(rdd_id, p))
+            if block_writer is not None
+            else None
+        )
+
+        def _task():
+            t0 = time.perf_counter()
+            dtypes = array_dtypes(paths[0])
+            survivors: list[list] = [[] for _ in range(n_cols)]
+            keep_pos: list[int] = []
+            prev = None
+            merged = heapq.merge(
+                *(_run_row_iter(path, n_cols, key_cols) for path in paths)
+            )
+            for item in merged:
+                key = item[:n_key]
+                if key != prev:
+                    prev = key
+                    keep_pos.append(item[n_key])
+                    vals = item[n_key + 1:]
+                    for j in range(n_cols):
+                        survivors[j].append(vals[j])
+            # Ascending pos == the exchange's concatenated row order.
+            order = np.argsort(
+                np.asarray(keep_pos, dtype=np.int64), kind="stable"
+            )
+            cols = tuple(
+                np.asarray(survivors[j], dtype=dtypes[f"c{j}"])[order]
+                for j in range(n_cols)
+            )
+            elapsed = time.perf_counter() - t0
+            if block_writer is not None:
+                return block_writer.write(out_name, cols), elapsed
+            return cols, elapsed
+
+        return _task
+
+    reduced = ctx.run_tasks([_make_merge_task(p) for p in range(n_parts)])
+    for per_map in run_paths:
+        for path in per_map:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    store.untrack_shuffle_segments(seg_disk, seg_logical)
+    results = [r[0] for r in reduced]
+    task_cpu = [map_cpu[p] + reduced[p][1] for p in range(n_parts)]
+    return results, task_cpu, 0.0, rdd_id
 
 
 def _collect_shuffle(

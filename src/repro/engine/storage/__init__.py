@@ -6,8 +6,11 @@ answer: a :class:`BlockStore` that owns every materialized partition
 behind a stable :class:`BlockId`, keeps resident bytes under a
 configurable memory budget by LRU-spilling serialized blocks to a spill
 directory, transparently reloads them on access, and provides durable
-checkpoint files that truncate lineage for fault recovery.  See
-DESIGN.md §8 for the block lifecycle and budget semantics.
+checkpoint files that truncate lineage for fault recovery.  Block files
+are written through a pluggable codec (``codecs.py``): raw ``.npz``,
+chunk-compressed zlib/lzma columnar containers, or uncompressed
+memory-mapped read-back.  See DESIGN.md §8 for the block lifecycle and
+budget semantics and §10 for the codec layer.
 """
 
 from repro.engine.storage.blocks import (
@@ -16,6 +19,7 @@ from repro.engine.storage.blocks import (
     BlockId,
     BlockStore,
     BlockWriter,
+    ChunkedBlockWriter,
     SpilledBlockHandle,
     StorageLevel,
     StorageStats,
@@ -23,19 +27,48 @@ from repro.engine.storage.blocks import (
     parse_size,
     resolve_memory_budget,
     resolve_spill_dir,
+    write_block_file,
+)
+from repro.engine.storage.codecs import (
+    BLOCK_CODEC_ENV_VAR,
+    CODEC_CHUNK_BYTES_ENV_VAR,
+    CODECS,
+    DEFAULT_CODEC,
+    BlockCodec,
+    WriteInfo,
+    get_codec,
+    iter_column_chunks,
+    read_block_file,
+    read_named_file,
+    resolve_block_codec,
+    resolve_codec_chunk_bytes,
 )
 
 __all__ = [
+    "BLOCK_CODEC_ENV_VAR",
+    "CODEC_CHUNK_BYTES_ENV_VAR",
+    "CODECS",
+    "DEFAULT_CODEC",
     "MEMORY_BUDGET_ENV_VAR",
     "SPILL_DIR_ENV_VAR",
+    "BlockCodec",
     "BlockId",
     "BlockStore",
     "BlockWriter",
+    "ChunkedBlockWriter",
     "SpilledBlockHandle",
     "StorageLevel",
     "StorageStats",
+    "WriteInfo",
+    "get_codec",
+    "iter_column_chunks",
     "load_block_file",
     "parse_size",
+    "read_block_file",
+    "read_named_file",
+    "resolve_block_codec",
+    "resolve_codec_chunk_bytes",
     "resolve_memory_budget",
     "resolve_spill_dir",
+    "write_block_file",
 ]

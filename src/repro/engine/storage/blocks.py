@@ -3,11 +3,13 @@
 Every materialized RDD partition lives in a :class:`BlockStore` behind a
 stable :class:`BlockId`.  Blocks start memory-resident; when the store's
 memory budget is exceeded the least-recently-used evictable blocks are
-serialized to ``.npz`` files under the spill directory and transparently
-reloaded on the next access.  ``np.savez``/``np.load`` round-trip arrays
-bit-exactly, so a spilled-and-reloaded partition is byte-identical to
-the in-memory original — the engine's cross-backend digest guarantee
-survives any budget.
+serialized to block files under the spill directory and transparently
+reloaded on the next access.  The on-disk format is pluggable (see
+``codecs.py``): raw ``.npz``, chunk-compressed zlib/lzma ``.blk``, or
+uncompressed ``.blk`` with memory-mapped read-back.  Every codec
+round-trips arrays bit-exactly, so a spilled-and-reloaded partition is
+byte-identical to the in-memory original — the engine's cross-backend
+digest guarantee survives any budget under any codec.
 
 Three storage levels control the lifecycle:
 
@@ -42,7 +44,7 @@ import os
 import re
 import shutil
 import tempfile
-import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
@@ -50,6 +52,14 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.engine.storage.codecs import (
+    DEFAULT_CODEC,
+    WriteInfo,
+    get_codec,
+    read_block_file,
+    resolve_block_codec,
+)
 
 Columns = Sequence[np.ndarray]
 
@@ -153,20 +163,41 @@ class BlockId:
     attempt: int = 0
 
     @property
+    def stem(self) -> str:
+        return f"rdd{self.rdd_id}-p{self.partition}-a{self.attempt}"
+
+    @property
     def filename(self) -> str:
-        return f"rdd{self.rdd_id}-p{self.partition}-a{self.attempt}.npz"
+        """Legacy raw-codec name; codec-aware callers use filename_for."""
+
+        return self.stem + ".npz"
+
+    def filename_for(self, extension: str) -> str:
+        return self.stem + extension
 
 
 @dataclass
 class StorageStats:
-    """Live per-tier byte accounting, surfaced through SimulationMetrics."""
+    """Live per-tier byte accounting, surfaced through SimulationMetrics.
+
+    ``disk_bytes`` is the *actual* on-disk footprint (post-codec file
+    sizes); ``disk_logical_bytes`` is the pre-codec array bytes those
+    files represent.  The ``disk_written_*`` pair accumulates over the
+    session (never decremented), so :meth:`compression_ratio` reflects
+    everything the codec ever encoded, not just blocks still alive.
+    """
 
     memory_bytes: int = 0
     disk_bytes: int = 0
+    disk_logical_bytes: int = 0
     spill_count: int = 0
     reload_count: int = 0
     peak_memory_bytes: int = 0
     disk_high_water_bytes: int = 0
+    disk_written_bytes: int = 0
+    disk_written_logical_bytes: int = 0
+    codec_encode_seconds: float = 0.0
+    codec_decode_seconds: float = 0.0
 
     def add_memory(self, nbytes: int) -> None:
         self.memory_bytes += nbytes
@@ -176,64 +207,94 @@ class StorageStats:
     def sub_memory(self, nbytes: int) -> None:
         self.memory_bytes -= nbytes
 
-    def add_disk(self, nbytes: int) -> None:
-        self.disk_bytes += nbytes
+    def add_disk(self, disk_bytes: int, logical_bytes: int) -> None:
+        self.disk_bytes += disk_bytes
+        self.disk_logical_bytes += logical_bytes
+        self.disk_written_bytes += disk_bytes
+        self.disk_written_logical_bytes += logical_bytes
         if self.disk_bytes > self.disk_high_water_bytes:
             self.disk_high_water_bytes = self.disk_bytes
 
-    def sub_disk(self, nbytes: int) -> None:
-        self.disk_bytes -= nbytes
+    def sub_disk(self, disk_bytes: int, logical_bytes: int) -> None:
+        self.disk_bytes -= disk_bytes
+        self.disk_logical_bytes -= logical_bytes
+
+    def compression_ratio(self) -> float:
+        """Logical-to-disk ratio over everything written (1.0 when idle)."""
+
+        if self.disk_written_bytes <= 0:
+            return 1.0
+        return self.disk_written_logical_bytes / self.disk_written_bytes
+
+    @property
+    def codec_seconds(self) -> float:
+        return self.codec_encode_seconds + self.codec_decode_seconds
 
 
 @dataclass(frozen=True)
 class SpilledBlockHandle:
-    """What a task returns instead of arrays when it spilled its output."""
+    """What a task returns instead of arrays when it spilled its output.
+
+    ``nbytes`` is the logical (pre-codec) array bytes; ``disk_bytes``
+    the actual file size (0 means "unknown", treated as logical by the
+    store).  ``codec_seconds`` carries task-side encode time back to
+    the driver's :class:`StorageStats`.
+    """
 
     path: str
     rows: int
     nbytes: int
     n_columns: int
+    disk_bytes: int = 0
+    codec_seconds: float = 0.0
 
 
-def _write_arrays(path: str, named: "dict[str, np.ndarray]") -> None:
-    """Atomically write arrays to ``path`` as an uncompressed .npz.
-
-    The temp name is unique per process *and* thread: speculative task
-    duplicates may write the same (deterministic) block concurrently,
-    and each attempt must reach its own temp file before the rename.
-    """
-
-    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-    try:
-        with open(tmp, "wb") as handle:
-            np.savez(handle, **named)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-def write_block_file(path: str, columns: Columns) -> SpilledBlockHandle:
-    """Serialize a columnar partition to ``path`` (atomic temp + rename)."""
-
-    named = {f"c{j}": np.ascontiguousarray(col) for j, col in enumerate(columns)}
-    _write_arrays(path, named)
+def _handle_from_info(info: WriteInfo, rows: "int | None" = None) -> SpilledBlockHandle:
     return SpilledBlockHandle(
-        path=path,
-        rows=int(columns[0].size) if columns else 0,
-        nbytes=int(sum(col.nbytes for col in columns)),
-        n_columns=len(columns),
+        path=info.path,
+        rows=info.rows if rows is None else rows,
+        nbytes=info.logical_bytes,
+        n_columns=info.n_columns,
+        disk_bytes=info.disk_bytes,
+        codec_seconds=info.seconds,
     )
 
 
-def load_block_file(path: str) -> "tuple[np.ndarray, ...]":
-    """Load a columnar partition written by :func:`write_block_file`."""
+def write_block_file(
+    path: str, columns: Columns, codec: str = DEFAULT_CODEC
+) -> SpilledBlockHandle:
+    """Serialize a columnar partition to ``path`` (atomic temp + rename)."""
 
-    with np.load(path) as archive:
-        return tuple(archive[f"c{j}"] for j in range(len(archive.files)))
+    columns = tuple(columns)
+    info = get_codec(codec).write(path, columns)
+    rows = int(columns[0].size) if columns else 0
+    return _handle_from_info(info, rows=rows)
+
+
+def load_block_file(path: str) -> "tuple[np.ndarray, ...]":
+    """Load a columnar partition written by any codec (self-describing)."""
+
+    return read_block_file(path)
+
+
+class ChunkedBlockWriter:
+    """Streams column chunks into one block file; handle at close.
+
+    Wraps a codec chunked writer so streaming tasks get back the same
+    :class:`SpilledBlockHandle` a whole-partition write would return.
+    """
+
+    def __init__(self, path: str, codec: str):
+        self._inner = get_codec(codec).open_writer(path)
+
+    def append_columns(self, columns: Columns) -> None:
+        self._inner.append_columns(columns)
+
+    def close(self) -> SpilledBlockHandle:
+        return _handle_from_info(self._inner.close())
+
+    def abort(self) -> None:
+        self._inner.abort()
 
 
 @dataclass(frozen=True)
@@ -242,20 +303,53 @@ class BlockWriter:
 
     Created driver-side (the directory is made before any fork) and
     captured in task closures, so forked workers and threads can write
-    spill files without touching the BlockStore itself.
+    spill files without touching the BlockStore itself.  Carries the
+    session's codec name so every task-side file uses the same format.
     """
 
     directory: str
+    codec: str = DEFAULT_CODEC
+
+    @property
+    def extension(self) -> str:
+        return get_codec(self.codec).extension
+
+    def name_for(self, block_id: BlockId) -> str:
+        """Spill filename for a block under this writer's codec."""
+
+        return block_id.filename_for(self.extension)
+
+    def _codec_for(self, name: str) -> str:
+        """Honour an explicit extension: files are self-describing and
+        reads dispatch on the suffix, so a ``.npz`` name must hold an
+        npz archive whatever codec this writer carries (and ``.blk``
+        always holds the chunked container — uncompressed when the
+        session codec is raw)."""
+        if name.endswith(".npz"):
+            return "raw"
+        if name.endswith(".blk") and self.codec == "raw":
+            return "mmap"
+        return self.codec
 
     def write(self, name: str, columns: Columns) -> SpilledBlockHandle:
-        return write_block_file(os.path.join(self.directory, name), columns)
+        return write_block_file(
+            os.path.join(self.directory, name),
+            columns,
+            codec=self._codec_for(name),
+        )
 
     def write_arrays(
         self, name: str, named: "dict[str, np.ndarray]"
-    ) -> "tuple[str, int]":
+    ) -> WriteInfo:
         path = os.path.join(self.directory, name)
-        _write_arrays(path, named)
-        return path, int(sum(arr.nbytes for arr in named.values()))
+        return get_codec(self._codec_for(name)).write_named(path, named)
+
+    def open_chunked(self, name: str) -> ChunkedBlockWriter:
+        """A streaming writer for tasks that emit bounded chunks."""
+
+        return ChunkedBlockWriter(
+            os.path.join(self.directory, name), self._codec_for(name)
+        )
 
 
 class _MemoryRef:
@@ -295,6 +389,7 @@ class _Entry:
     nbytes: int
     n_columns: int
     level: StorageLevel
+    disk_bytes: int = 0
     durable: bool = False
     refs: int = 1
 
@@ -314,8 +409,10 @@ class BlockStore:
         self,
         memory_budget_bytes: "int | str | None" = None,
         spill_dir: "str | os.PathLike | None" = None,
+        codec: "str | None" = None,
     ):
         self.memory_budget_bytes = resolve_memory_budget(memory_budget_bytes)
+        self.codec = resolve_block_codec(codec)
         self._spill_base = resolve_spill_dir(spill_dir)
         self._root: "Path | None" = None
         self._blocks: "dict[BlockId, _Entry]" = {}
@@ -355,12 +452,12 @@ class BlockStore:
     def block_writer(self) -> BlockWriter:
         """A picklable writer for task-side block output."""
 
-        return BlockWriter(str(self._ensure_root() / "blocks"))
+        return BlockWriter(str(self._ensure_root() / "blocks"), self.codec)
 
     def shuffle_writer(self) -> BlockWriter:
         """A picklable writer for task-side shuffle segment output."""
 
-        return BlockWriter(str(self._ensure_root() / "shuffle"))
+        return BlockWriter(str(self._ensure_root() / "shuffle"), self.codec)
 
     def new_shuffle_id(self) -> int:
         return next(self._shuffle_ids)
@@ -395,11 +492,15 @@ class BlockStore:
 
         if entry.path is not None:
             return  # a clean copy already exists on disk: no rewrite
-        path = str(self._ensure_root() / "blocks" / entry.block_id.filename)
-        write_block_file(path, entry.columns)
+        codec = get_codec(self.codec)
+        name = entry.block_id.filename_for(codec.extension)
+        path = str(self._ensure_root() / "blocks" / name)
+        info = codec.write(path, entry.columns)
         entry.path = path
+        entry.disk_bytes = info.disk_bytes
         self.stats.spill_count += 1
-        self.stats.add_disk(entry.nbytes)
+        self.stats.codec_encode_seconds += info.seconds
+        self.stats.add_disk(info.disk_bytes, entry.nbytes)
 
     def _delete_entry_file(self, entry: _Entry) -> None:
         if entry.path is None:
@@ -409,7 +510,8 @@ class BlockStore:
         except OSError:
             pass
         entry.path = None
-        self.stats.sub_disk(entry.nbytes)
+        self.stats.sub_disk(entry.disk_bytes, entry.nbytes)
+        entry.disk_bytes = 0
 
     def enforce_budget(self) -> None:
         """Evict least-recently-used evictable blocks until under budget."""
@@ -468,6 +570,7 @@ class BlockStore:
 
         if block_id in self._blocks:
             raise ValueError(f"duplicate block: {block_id}")
+        disk_bytes = handle.disk_bytes or handle.nbytes
         entry = _Entry(
             block_id=block_id,
             columns=None,
@@ -476,10 +579,12 @@ class BlockStore:
             nbytes=handle.nbytes,
             n_columns=handle.n_columns,
             level=level,
+            disk_bytes=disk_bytes,
         )
         self._blocks[block_id] = entry
         self.stats.spill_count += 1
-        self.stats.add_disk(entry.nbytes)
+        self.stats.codec_encode_seconds += handle.codec_seconds
+        self.stats.add_disk(disk_bytes, entry.nbytes)
 
     def share(self, block_id: BlockId) -> None:
         """Take an additional reference on an existing block."""
@@ -512,7 +617,9 @@ class BlockStore:
         if entry.columns is not None:
             self._touch(entry)
             return entry.columns
+        t0 = time.perf_counter()
         columns = load_block_file(entry.path)
+        self.stats.codec_decode_seconds += time.perf_counter() - t0
         self.stats.reload_count += 1
         if entry.level is StorageLevel.DISK_ONLY:
             return columns  # stream-through: never cached
@@ -554,7 +661,9 @@ class BlockStore:
                 self._drop_resident(entry)
         elif level is StorageLevel.MEMORY_ONLY:
             if entry.columns is None:
+                t0 = time.perf_counter()
                 columns = load_block_file(entry.path)
+                self.stats.codec_decode_seconds += time.perf_counter() - t0
                 self.stats.reload_count += 1
                 self._make_resident(entry, columns)
             self.enforce_budget()
@@ -572,14 +681,19 @@ class BlockStore:
         entry = self._blocks[block_id]
         if entry.durable:
             return entry.path
-        target = str(
-            self._ensure_root() / "checkpoints" / entry.block_id.filename
-        )
+        codec = get_codec(self.codec)
         if entry.path is None:
-            write_block_file(target, entry.columns)
+            name = entry.block_id.filename_for(codec.extension)
+            target = str(self._ensure_root() / "checkpoints" / name)
+            info = codec.write(target, entry.columns)
+            entry.disk_bytes = info.disk_bytes
             self.stats.spill_count += 1
-            self.stats.add_disk(entry.nbytes)
+            self.stats.codec_encode_seconds += info.seconds
+            self.stats.add_disk(info.disk_bytes, entry.nbytes)
         else:
+            # Keep the existing file's extension: the bytes move as-is.
+            name = os.path.basename(entry.path)
+            target = str(self._ensure_root() / "checkpoints" / name)
             os.replace(entry.path, target)
         entry.path = target
         entry.durable = True
@@ -589,14 +703,23 @@ class BlockStore:
 
     # -- shuffle segment accounting -----------------------------------
 
-    def track_shuffle_segments(self, nbytes: int, n_files: int) -> None:
-        self._shuffle_disk_bytes += nbytes
+    def track_shuffle_segments(
+        self,
+        disk_bytes: int,
+        logical_bytes: int,
+        n_files: int,
+        codec_seconds: float = 0.0,
+    ) -> None:
+        self._shuffle_disk_bytes += disk_bytes
         self.stats.spill_count += n_files
-        self.stats.add_disk(nbytes)
+        self.stats.codec_encode_seconds += codec_seconds
+        self.stats.add_disk(disk_bytes, logical_bytes)
 
-    def untrack_shuffle_segments(self, nbytes: int) -> None:
-        self._shuffle_disk_bytes -= nbytes
-        self.stats.sub_disk(nbytes)
+    def untrack_shuffle_segments(
+        self, disk_bytes: int, logical_bytes: int
+    ) -> None:
+        self._shuffle_disk_bytes -= disk_bytes
+        self.stats.sub_disk(disk_bytes, logical_bytes)
 
     # -- lifecycle ----------------------------------------------------
 

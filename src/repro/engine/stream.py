@@ -1,0 +1,116 @@
+"""Bounded-chunk streaming helpers for generators and the shuffle.
+
+The paper's cluster never materializes a partition's whole edge array in
+one worker: map tasks emit edges as they are drawn (Yoo & Henderson's
+independent per-worker draws) and the runtime absorbs them in bounded
+buffers.  This module holds the local engine's equivalents:
+
+* :func:`resolve_emit_chunk_rows` — how many rows a streaming generator
+  op yields per chunk (``REPRO_EMIT_CHUNK_ROWS``, default 262144 — 4 MB
+  of int64 edge pairs per chunk);
+* :func:`resolve_extsort_chunk_rows` — run-file chunk granularity of the
+  external-sort shuffle (``REPRO_EXTSORT_CHUNK_ROWS``): the reduce-side
+  k-way merge holds one chunk per run per column, so this bounds reduce
+  memory;
+* :func:`iter_repeat_chunks` — the chunked equivalent of
+  ``np.repeat`` over value/count column pairs, bit-identical to the
+  unchunked expansion when concatenated.  The random draws happen
+  *before* chunking (whole-partition arrays), so the RNG stream is
+  untouched and digests match the monolithic path exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EMIT_CHUNK_ROWS_ENV_VAR",
+    "EXTSORT_CHUNK_ROWS_ENV_VAR",
+    "DEFAULT_EMIT_CHUNK_ROWS",
+    "DEFAULT_EXTSORT_CHUNK_ROWS",
+    "resolve_emit_chunk_rows",
+    "resolve_extsort_chunk_rows",
+    "iter_repeat_chunks",
+]
+
+EMIT_CHUNK_ROWS_ENV_VAR = "REPRO_EMIT_CHUNK_ROWS"
+EXTSORT_CHUNK_ROWS_ENV_VAR = "REPRO_EXTSORT_CHUNK_ROWS"
+
+DEFAULT_EMIT_CHUNK_ROWS = 262144
+DEFAULT_EXTSORT_CHUNK_ROWS = 65536
+
+
+def _resolve_rows(value: "int | str | None", env_var: str, default: int) -> int:
+    if value is None:
+        env = os.environ.get(env_var)
+        if not env:
+            return default
+        value = env
+    rows = int(value)
+    if rows <= 0:
+        raise ValueError(f"chunk rows must be > 0, got {rows}")
+    return rows
+
+
+def resolve_emit_chunk_rows(value: "int | str | None" = None) -> int:
+    """Rows per streamed generator chunk: argument > env > 262144."""
+
+    return _resolve_rows(
+        value, EMIT_CHUNK_ROWS_ENV_VAR, DEFAULT_EMIT_CHUNK_ROWS
+    )
+
+
+def resolve_extsort_chunk_rows(value: "int | str | None" = None) -> int:
+    """Rows per external-sort run chunk: argument > env > 65536."""
+
+    return _resolve_rows(
+        value, EXTSORT_CHUNK_ROWS_ENV_VAR, DEFAULT_EXTSORT_CHUNK_ROWS
+    )
+
+
+def iter_repeat_chunks(
+    values: Sequence[np.ndarray],
+    counts: np.ndarray,
+    *,
+    chunk_rows: "int | None" = None,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield ``tuple(np.repeat(v, counts) for v in values)`` in chunks.
+
+    Each yielded tuple holds at most ``chunk_rows`` output rows.
+    Concatenating the chunks column-wise is bit-identical to the
+    monolithic ``np.repeat`` — the expansion is deterministic, so
+    chunking it cannot shift any RNG stream.  Peak extra memory is one
+    output chunk instead of the whole expansion (PGPBA emits ~2|E| rows
+    per growth step through this).
+    """
+
+    chunk_rows = resolve_emit_chunk_rows(chunk_rows)
+    counts = np.asarray(counts, dtype=np.int64)
+    values = tuple(np.asarray(v) for v in values)
+    if counts.size == 0:
+        yield tuple(v[:0] for v in values)
+        return
+    ends = np.cumsum(counts)
+    total = int(ends[-1])
+    if total == 0:
+        yield tuple(v[:0] for v in values)
+        return
+    starts = ends - counts
+    out_pos = 0
+    while out_pos < total:
+        hi = min(out_pos + chunk_rows, total)
+        # Source rows overlapping output window [out_pos, hi): every row
+        # whose expansion ends after out_pos and starts before hi.
+        first = int(np.searchsorted(ends, out_pos, side="right"))
+        last = int(np.searchsorted(starts, hi, side="left"))
+        window_counts = counts[first:last].copy()
+        # Clip the edge rows to the window.
+        window_counts[0] -= out_pos - int(starts[first])
+        window_counts[-1] -= int(ends[last - 1]) - hi
+        yield tuple(
+            np.repeat(v[first:last], window_counts) for v in values
+        )
+        out_pos = hi

@@ -179,7 +179,7 @@ class TestBlockStore:
         # The least recently used block (a) was spilled.
         assert store.stats.spill_count == 1
         assert store.stats.memory_bytes == 1600
-        assert store.stats.disk_bytes == 800
+        assert store.stats.disk_logical_bytes == 800
         assert store.meta(BlockId(0, 0)).columns is None
         # Reloading a is transparent and evicts the new LRU (b).
         got = store.get(BlockId(0, 0))
@@ -217,7 +217,7 @@ class TestBlockStore:
         cols = _cols(100)
         store.put(BlockId(0, 0), cols, level=StorageLevel.DISK_ONLY)
         assert store.stats.memory_bytes == 0
-        assert store.stats.disk_bytes == cols[0].nbytes
+        assert store.stats.disk_logical_bytes == cols[0].nbytes
         for expected_reloads in (1, 2):
             got = store.get(BlockId(0, 0))
             np.testing.assert_array_equal(got[0], cols[0])
