@@ -1,0 +1,463 @@
+"""Query-serving benchmark: indexed snapshots, result cache, QPS at scale.
+
+The complete IDS benchmark measures not just dataset generation but the
+serving side: how fast the four query families answer over a generated
+dataset.  This bench generates PGPBA datasets at 10^6 and 10^7 edges and
+tracks, via the ``query_serving`` section of
+``benchmarks/results/BENCH_engine.json``:
+
+* the mixed :class:`~repro.queries.QueryWorkload` against an inline
+  re-implementation of the **pre-snapshot baseline** (per-query scipy CSR
+  rebuilds for the path family, full-column boolean scans for the edge
+  family, endpoint-column scans for neighbourhoods) versus the same
+  workload through the prebuilt :class:`~repro.serve.GraphSnapshot`,
+  with the steady-state speedup and the snapshot build cost;
+* :class:`~repro.serve.QueryServer` batch QPS and per-family p50/p99
+  latency at 1, 2 and 4 worker threads, cold cache versus warm cache,
+  with a digest proving every thread count and cache state returned the
+  byte-identical results (also identical to the baseline);
+* the indexed-versus-scan edge-filter row: the workload's Netflow
+  filters answered via the sorted attribute indexes versus the
+  full-column boolean scan.
+
+``REPRO_BENCH_SMOKE=1`` shrinks to one CI-sized run (~30 s);
+``REPRO_BENCH_QUERY_EDGES`` overrides the size list directly, e.g.
+``REPRO_BENCH_QUERY_EDGES=1000000,10000000``.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_query_serving.py``)
+or via pytest like the figure benches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import cached_seed, default_cluster, format_table, measure_wall
+from repro.core import PGPBA
+from repro.graph import PropertyGraph
+from repro.queries import QueryWorkload
+from repro.queries.path_queries import _expand
+from repro.queries.subgraph_queries import PairAggregate
+from repro.serve import QueryServer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+WORKLOAD_QUERIES = 20
+WORKLOAD_HOPS = 2
+WORKLOAD_SEED = 43
+CACHE_SIZE = 4096
+
+
+def _sizes() -> list[int]:
+    override = os.environ.get("REPRO_BENCH_QUERY_EDGES")
+    if override:
+        return [int(s) for s in override.split(",") if s.strip()]
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return [100_000]
+    return [1_000_000, 10_000_000]
+
+
+def _thread_matrix() -> tuple[int, ...]:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return (1, 2)
+    return (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# result digests: byte-identity across thread counts and cache states
+# ----------------------------------------------------------------------
+def _update(h, value) -> None:
+    if isinstance(value, np.ndarray):
+        h.update(str(value.dtype).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, PropertyGraph):
+        _update(h, value.src)
+        _update(h, value.dst)
+        for name in sorted(value.edge_properties):
+            h.update(name.encode())
+            _update(h, np.asarray(value.edge_properties[name]))
+    elif isinstance(value, PairAggregate):
+        for f in ("src", "dst", "n_flows", "total_bytes", "total_packets"):
+            _update(h, getattr(value, f))
+    else:
+        h.update(repr(value).encode())
+
+
+def result_digest(results) -> str:
+    """Order-sensitive digest over a batch's results."""
+    h = hashlib.sha256()
+    for r in results:
+        _update(h, r)
+    return h.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# pre-snapshot baseline (the implementations this PR replaced)
+# ----------------------------------------------------------------------
+def run_baseline_workload(graph, workload: QueryWorkload):
+    """The workload mix as served before the snapshot layer existed.
+
+    Node neighbourhoods scan the endpoint columns, degree ranking
+    recomputes ``bincount`` degrees, edge filters evaluate full-column
+    boolean masks, every path query rebuilds the scipy CSR adjacency
+    from scratch, and the motifs re-project the simple graph per call.
+    Results are collected in :meth:`QueryWorkload.build_queries` order so
+    the digest is comparable with the server's.
+    """
+    targets, ports, has_props = workload._draw(graph)
+    results: list = []
+    timings: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    for v in targets:
+        out = np.unique(graph.dst[graph.src == int(v)])
+        inc = np.unique(graph.src[graph.dst == int(v)])
+        results.append(np.unique(np.concatenate([out, inc])))
+    deg = graph.degrees()
+    k = min(10, graph.n_vertices)
+    top = np.argpartition(deg, -k)[-k:]
+    results.append(top[np.argsort(-deg[top], kind="stable")])
+    timings["node"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if has_props:
+        for port in ports:
+            flt = workload._edge_filter(int(port))
+            results.append(graph.select_edges(flt.mask(graph)))
+    timings["edge"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for v in targets:
+        adj = graph.simple_graph().to_sparse_adjacency(weighted=False)
+        seen = np.zeros(graph.n_vertices, dtype=bool)
+        seen[int(v)] = True
+        frontier = np.asarray([int(v)], dtype=np.int64)
+        for _ in range(workload.k_hops):
+            nxt = _expand(adj.indptr, adj.indices, frontier)
+            nxt = np.unique(nxt[~seen[nxt]])
+            if nxt.size == 0:
+                break
+            seen[nxt] = True
+            frontier = nxt
+        results.append(np.flatnonzero(seen))
+    timings["path"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    s, _ = graph.distinct_edge_pairs()
+    results.append(
+        np.flatnonzero(np.bincount(s, minlength=graph.n_vertices) >= 10)
+    )
+    _, d = graph.distinct_edge_pairs()
+    results.append(
+        np.flatnonzero(np.bincount(d, minlength=graph.n_vertices) >= 10)
+    )
+    if has_props:
+        key = graph.src * np.int64(graph.n_vertices) + graph.dst
+        uniq, inverse, counts = np.unique(
+            key, return_inverse=True, return_counts=True
+        )
+        sums = {}
+        for pair in (("OUT_BYTES", "IN_BYTES"), ("OUT_PKTS", "IN_PKTS")):
+            sums[pair] = np.bincount(
+                inverse,
+                weights=(
+                    np.asarray(
+                        graph.edge_properties[pair[0]], dtype=np.float64
+                    )
+                    + np.asarray(
+                        graph.edge_properties[pair[1]], dtype=np.float64
+                    )
+                ),
+                minlength=uniq.size,
+            ).astype(np.int64)
+        results.append(
+            PairAggregate(
+                src=(uniq // graph.n_vertices).astype(np.int64),
+                dst=(uniq % graph.n_vertices).astype(np.int64),
+                n_flows=counts.astype(np.int64),
+                total_bytes=sums[("OUT_BYTES", "IN_BYTES")],
+                total_packets=sums[("OUT_PKTS", "IN_PKTS")],
+            )
+        )
+    timings["subgraph"] = time.perf_counter() - t0
+    return results, timings
+
+
+# ----------------------------------------------------------------------
+def _family_stats(stats) -> dict:
+    return {
+        family: {
+            "n_queries": fs.n_queries,
+            "p50_ms": round(fs.p50_ms, 4),
+            "p99_ms": round(fs.p99_ms, 4),
+            "queries_per_second": round(fs.queries_per_second, 1),
+        }
+        for family, fs in stats.families.items()
+        if fs.n_queries
+    }
+
+
+def run_indexed_vs_scan(graph, workload: QueryWorkload, repeats: int) -> dict:
+    """The workload's Netflow edge filters: sorted-index probes versus
+    full-column boolean scans (identical selections by construction)."""
+    snap = graph.snapshot()
+    filters = [workload._edge_filter(p) for p in (22, 53, 80, 443)]
+    for flt in filters:  # selections must agree before timing
+        assert np.array_equal(
+            flt.selection(snap), np.flatnonzero(flt.mask(graph))
+        )
+    _, indexed = measure_wall(
+        lambda: [
+            flt.selection(snap) for _ in range(repeats) for flt in filters
+        ]
+    )
+    _, scan = measure_wall(
+        lambda: [
+            np.flatnonzero(flt.mask(graph))
+            for _ in range(repeats)
+            for flt in filters
+        ]
+    )
+    return {
+        "n_filters": len(filters),
+        "repeats": repeats,
+        "indexed_seconds": round(indexed, 4),
+        "scan_seconds": round(scan, 4),
+        "speedup": round(scan / max(indexed, 1e-9), 3),
+    }
+
+
+def run_size(seed_bundle, size: int) -> dict:
+    """All serving measurements for one generated dataset size."""
+    workload = QueryWorkload(
+        n_queries=WORKLOAD_QUERIES, k_hops=WORKLOAD_HOPS, seed=WORKLOAD_SEED
+    )
+    with default_cluster() as ctx:
+        result, gen_wall = measure_wall(
+            lambda: PGPBA(fraction=2.0, seed=11).generate(
+                seed_bundle.graph, seed_bundle.analysis, size, context=ctx
+            )
+        )
+    graph = result.graph
+
+    # Pre-snapshot baseline first: it must not touch graph.snapshot().
+    (baseline_results, baseline_timings) = run_baseline_workload(
+        graph, workload
+    )
+    baseline_seconds = float(sum(baseline_timings.values()))
+    digests = {"baseline": result_digest(baseline_results)}
+
+    snap, build_seconds = measure_wall(graph.snapshot)
+    report = workload.run(graph)
+    workload_seconds = report.total_seconds
+
+    batch = workload.build_queries(graph)
+    threads_out: list[dict] = []
+    for threads in _thread_matrix():
+        server = QueryServer(graph, threads=threads, cache_size=CACHE_SIZE)
+        cold_results, cold_wall = measure_wall(
+            lambda: server.run_batch(batch)
+        )
+        cold_stats = server.stats()
+        warm_results, warm_wall = measure_wall(
+            lambda: server.run_batch(batch)
+        )
+        digests[f"threads={threads}:cold"] = result_digest(cold_results)
+        digests[f"threads={threads}:warm"] = result_digest(warm_results)
+        threads_out.append(
+            {
+                "threads": threads,
+                "cold_wall_seconds": round(cold_wall, 4),
+                "cold_qps": round(len(batch) / max(cold_wall, 1e-9), 1),
+                "warm_wall_seconds": round(warm_wall, 4),
+                "warm_qps": round(len(batch) / max(warm_wall, 1e-9), 1),
+                "warm_over_cold": round(cold_wall / max(warm_wall, 1e-9), 3),
+                "cache_hit_ratio": round(
+                    server.cache_info()["hit_ratio"], 3
+                ),
+                "families": _family_stats(cold_stats),
+            }
+        )
+    # An uncached serial pass: cache state must not change results.
+    uncached = QueryServer(graph, threads=1, cache_size=0)
+    digests["uncached"] = result_digest(uncached.run_batch(batch))
+
+    repeats = 2 if size >= 5_000_000 else 5
+    indexed_vs_scan = run_indexed_vs_scan(graph, workload, repeats)
+    return {
+        "target_edges": size,
+        "edges": int(graph.n_edges),
+        "n_vertices": int(graph.n_vertices),
+        "generation_wall_seconds": round(gen_wall, 4),
+        "snapshot_build_seconds": round(build_seconds, 4),
+        "snapshot_memory_bytes": int(snap.memory_bytes()),
+        "batch_queries": len(batch),
+        "baseline_seconds": round(baseline_seconds, 4),
+        "baseline_seconds_by_family": {
+            k: round(v, 4) for k, v in baseline_timings.items()
+        },
+        "workload_seconds": round(workload_seconds, 4),
+        "workload_seconds_by_family": {
+            k: round(v, 4) for k, v in report.seconds_by_family.items()
+        },
+        "speedup_vs_baseline": round(
+            baseline_seconds / max(workload_seconds, 1e-9), 3
+        ),
+        "speedup_including_build": round(
+            baseline_seconds
+            / max(workload_seconds + build_seconds, 1e-9),
+            3,
+        ),
+        "threads": threads_out,
+        "digests": digests,
+        "digests_match": len(set(digests.values())) == 1,
+        "indexed_vs_scan": indexed_vs_scan,
+    }
+
+
+def run_query_serving(seed_bundle) -> dict:
+    section = {
+        "workload": {
+            "n_queries": WORKLOAD_QUERIES,
+            "k_hops": WORKLOAD_HOPS,
+            "seed": WORKLOAD_SEED,
+            "cache_size": CACHE_SIZE,
+        },
+        "cpu_count": os.cpu_count(),
+        "sizes": [run_size(seed_bundle, size) for size in _sizes()],
+    }
+
+    # Read-modify-write: this section rides alongside the engine report.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = {}
+    if JSON_PATH.exists():
+        report = json.loads(JSON_PATH.read_text())
+    report["query_serving"] = section
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    for entry in section["sizes"]:
+        print(
+            f"\n== query serving at {entry['edges']:,} edges "
+            f"(snapshot build {entry['snapshot_build_seconds']:.3f} s, "
+            f"{entry['snapshot_memory_bytes'] / 2**20:.1f} MiB) ==\n"
+            f"baseline workload : {entry['baseline_seconds']:.3f} s\n"
+            f"snapshot workload : {entry['workload_seconds']:.3f} s "
+            f"({entry['speedup_vs_baseline']:.1f}x, "
+            f"{entry['speedup_including_build']:.1f}x incl. build)"
+        )
+        rows = [
+            [
+                t["threads"],
+                f"{t['cold_wall_seconds']:.4f}",
+                f"{t['cold_qps']:,.0f}",
+                f"{t['warm_wall_seconds']:.4f}",
+                f"{t['warm_qps']:,.0f}",
+                f"{t['warm_over_cold']:.1f}x",
+                f"{t['cache_hit_ratio']:.2f}",
+            ]
+            for t in entry["threads"]
+        ]
+        print(
+            format_table(
+                [
+                    "threads", "cold s", "cold q/s", "warm s",
+                    "warm q/s", "warm/cold", "hit ratio",
+                ],
+                rows,
+            )
+        )
+        fam_rows = [
+            [f, fs["n_queries"], f"{fs['p50_ms']:.3f}",
+             f"{fs['p99_ms']:.3f}", f"{fs['queries_per_second']:,.0f}"]
+            for f, fs in entry["threads"][0]["families"].items()
+        ]
+        print(
+            format_table(
+                ["family", "n", "p50 ms", "p99 ms", "q/s"], fam_rows
+            )
+        )
+        ivs = entry["indexed_vs_scan"]
+        print(
+            f"edge filters indexed: {ivs['indexed_seconds']:.4f} s, "
+            f"scan: {ivs['scan_seconds']:.4f} s "
+            f"({ivs['speedup']:.1f}x), "
+            f"digests match: {entry['digests_match']}"
+        )
+    print(f"\nwritten to {JSON_PATH}")
+    return section
+
+
+# ----------------------------------------------------------------------
+def test_query_serving(benchmark, seed_bundle):
+    section = run_query_serving(seed_bundle)
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    for entry in section["sizes"]:
+        # Byte-identity: every thread count, cached or not, and the
+        # pre-snapshot baseline all produced the same results.
+        assert entry["digests_match"], (
+            f"results diverged at {entry['target_edges']:,}: "
+            f"{entry['digests']}"
+        )
+        # The tentpole speedup: the served workload beats the pre-PR
+        # baseline >= 5x at 10^6 edges and above.
+        floor = 2.0 if entry["target_edges"] < 1_000_000 else 5.0
+        assert entry["speedup_vs_baseline"] >= floor, (
+            f"expected >= {floor}x over the pre-snapshot baseline at "
+            f"{entry['target_edges']:,} edges, got "
+            f"{entry['speedup_vs_baseline']:.2f}x"
+        )
+        # Warm cache serves the identical batch >= 2x faster than cold.
+        serial = next(t for t in entry["threads"] if t["threads"] == 1)
+        assert serial["warm_over_cold"] >= 2.0, (
+            f"expected >= 2x warm-cache win, got "
+            f"{serial['warm_over_cold']:.2f}x"
+        )
+        assert serial["cache_hit_ratio"] > 0
+        for t in entry["threads"]:
+            fams = t["families"]
+            assert set(fams) == {"node", "edge", "path", "subgraph"}
+            for fs in fams.values():
+                assert fs["n_queries"] > 0
+                assert fs["p50_ms"] <= fs["p99_ms"]
+        ivs = entry["indexed_vs_scan"]
+        assert ivs["indexed_seconds"] > 0 and ivs["scan_seconds"] > 0
+        if not smoke and entry["target_edges"] >= 1_000_000:
+            assert ivs["speedup"] >= 1.0, (
+                "sorted-index probes should not lose to full scans at "
+                f"{entry['target_edges']:,} edges: {ivs['speedup']:.2f}x"
+            )
+
+    entry = section["sizes"][0]
+    graph_queries = entry["batch_queries"]
+    assert graph_queries > 0
+
+    benchmark.pedantic(
+        lambda: run_indexed_vs_scan(
+            # Re-time the cheapest measurement as the tracked op.
+            _rebuild_small(seed_bundle),
+            QueryWorkload(
+                n_queries=WORKLOAD_QUERIES, seed=WORKLOAD_SEED
+            ),
+            repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def _rebuild_small(seed_bundle):
+    with default_cluster() as ctx:
+        return PGPBA(fraction=2.0, seed=11).generate(
+            seed_bundle.graph, seed_bundle.analysis, 50_000, context=ctx
+        ).graph
+
+
+if __name__ == "__main__":
+    run_query_serving(cached_seed())

@@ -9,6 +9,10 @@ this module provides the equivalent:
   it as .npz and/or an attribute-bearing edge list;
 * ``detect``   — run the Fig. 4 anomaly detector over a pcap capture;
 * ``veracity`` — score a generated graph against its seed;
+* ``query``    — serve the benchmark query workload (nodes, edges,
+  paths, sub-graphs) over a saved graph through the concurrent
+  ``repro.serve`` layer and report per-family latency percentiles,
+  cache hit ratio and queries/second;
 * ``engine-info`` — print the resolved engine configuration (backend,
   workers, fusion, fault plan, memory budget, spill dir, task grain)
   with the source of each setting, for debugging env-vs-flag precedence.
@@ -179,6 +183,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("veracity", help="score synthetic vs seed graph")
     p.add_argument("seed_graph", type=Path, help="seed graph .npz")
     p.add_argument("synthetic_graph", type=Path, help="synthetic graph .npz")
+
+    p = sub.add_parser(
+        "query",
+        help="serve the benchmark query workload over a saved graph "
+        "and report per-family latency percentiles, cache hit ratio "
+        "and queries/second",
+    )
+    p.add_argument("graph", type=Path,
+                   help="property graph .npz (e.g. generate --save-npz)")
+    p.add_argument("--n-queries", type=int, default=20,
+                   help="queries per family (default 20)")
+    p.add_argument("--k-hops", type=int, default=2,
+                   help="depth of the path queries")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for query target selection")
+    p.add_argument(
+        "--families", type=str, default=None, metavar="LIST",
+        help="comma-separated subset of node,edge,path,subgraph "
+        "(default: all four)",
+    )
+    p.add_argument(
+        "--threads", type=int, default=None,
+        help="worker threads for batched execution (default: "
+        "REPRO_QUERY_THREADS env var, then the CPU count)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="LRU result-cache capacity in entries, 0 disables "
+        "(default: REPRO_QUERY_CACHE env var, then 1024)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=2,
+        help="batch rounds; rounds after the first exercise the warm "
+        "cache (default 2)",
+    )
 
     return parser
 
@@ -421,6 +460,60 @@ def _cmd_veracity(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    import time
+
+    from repro.graph import PropertyGraph
+    from repro.queries import QueryWorkload
+    from repro.serve import QueryServer
+
+    graph = PropertyGraph.load_npz(args.graph)
+    if graph.n_vertices == 0 or graph.n_edges == 0:
+        print("graph is empty; nothing to query", file=sys.stderr)
+        return 1
+    families = None
+    if args.families:
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+        unknown = set(families) - {"node", "edge", "path", "subgraph"}
+        if unknown:
+            print(f"unknown families: {sorted(unknown)}", file=sys.stderr)
+            return 2
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    workload = QueryWorkload(
+        n_queries=args.n_queries, k_hops=args.k_hops, seed=args.seed
+    )
+    t0 = time.perf_counter()
+    snapshot = graph.snapshot()
+    build_seconds = time.perf_counter() - t0
+    batch = workload.build_queries(snapshot, families=families)
+    if not batch:
+        print("no queries to run (edge-only families need Netflow "
+              "attributes)", file=sys.stderr)
+        return 1
+    server = QueryServer(
+        snapshot, threads=args.threads, cache_size=args.cache_size
+    )
+    print(f"graph                : {graph.n_vertices:,} vertices, "
+          f"{graph.n_edges:,} edges")
+    print(f"snapshot build       : {build_seconds * 1e3:.2f} ms "
+          f"({snapshot.memory_bytes() / 2**20:.1f} MiB of indexes, "
+          f"epoch {snapshot.epoch})")
+    print(f"batch                : {len(batch)} queries x {args.repeat} "
+          f"rounds, {server.threads} threads, cache "
+          f"{server.cache_size} entries")
+    for round_no in range(1, args.repeat + 1):
+        t0 = time.perf_counter()
+        server.run_batch(batch)
+        wall = time.perf_counter() - t0
+        label = "cold" if round_no == 1 else "warm"
+        print(f"round {round_no} ({label})       : {wall * 1e3:10.2f} ms  "
+              f"{len(batch) / wall:12,.0f} q/s")
+    print(server.stats().summary())
+    return 0
+
+
 _COMMANDS = {
     "synth": _cmd_synth,
     "analyze": _cmd_analyze,
@@ -428,6 +521,7 @@ _COMMANDS = {
     "engine-info": _cmd_engine_info,
     "detect": _cmd_detect,
     "veracity": _cmd_veracity,
+    "query": _cmd_query,
 }
 
 

@@ -218,6 +218,25 @@ class PropertyGraph:
     # ------------------------------------------------------------------
     # adjacency export
     # ------------------------------------------------------------------
+    def snapshot(self):
+        """The memoized query-serving snapshot of this graph.
+
+        Builds a :class:`repro.serve.snapshot.GraphSnapshot` (CSR
+        adjacency, degree arrays, attribute indexes) on first call and
+        caches it on the instance, so a workload of many queries pays
+        the O(E) index construction exactly once per graph.  The graph
+        is treated as immutable once snapshotted — every structure
+        transform here returns a new instance, which naturally gets a
+        fresh snapshot (and a fresh cache epoch) of its own.
+        """
+        snap = self.__dict__.get("_snapshot")
+        if snap is None:
+            from repro.serve.snapshot import GraphSnapshot
+
+            snap = GraphSnapshot.build(self)
+            self.__dict__["_snapshot"] = snap
+        return snap
+
     def to_sparse_adjacency(self, *, weighted: bool = True):
         """CSR adjacency matrix (multiplicities as weights when weighted)."""
         from scipy import sparse

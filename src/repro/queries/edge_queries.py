@@ -3,7 +3,15 @@
 An :class:`EdgeFilter` is a conjunction of per-attribute predicates over
 the Netflow edge columns — the property-graph equivalent of a Netflow
 query like "all TCP flows to port 445 in state S0 moving fewer than 100
-bytes" (a scan signature).  Evaluation is one boolean mask pass.
+bytes" (a scan signature).
+
+Evaluation routes through the graph's snapshot: when an equality
+predicate pins one of the indexed columns (PROTOCOL, DEST_PORT, STATE),
+the most selective index supplies a sorted candidate list via two
+``searchsorted`` probes and the remaining predicates are verified by
+gathers over just those candidates — a full-column boolean scan happens
+only when no pinned column is indexed.  Either path selects the same
+edges in the same order.
 """
 
 from __future__ import annotations
@@ -28,26 +36,66 @@ class EdgeFilter:
     equals: dict = field(default_factory=dict)
     ranges: dict = field(default_factory=dict)
 
-    def mask(self, graph: PropertyGraph) -> np.ndarray:
-        """Boolean edge mask; raises on unknown attributes."""
+    def _column(self, graph, name: str) -> np.ndarray:
+        col = graph.edge_properties.get(name)
+        if col is None:
+            raise KeyError(f"edge attribute {name!r} not present")
+        return np.asarray(col)
+
+    def mask(self, graph) -> np.ndarray:
+        """Boolean edge mask (full-column scan); raises on unknown
+        attributes."""
         out = np.ones(graph.n_edges, dtype=bool)
         for name, value in self.equals.items():
-            col = graph.edge_properties.get(name)
-            if col is None:
-                raise KeyError(f"edge attribute {name!r} not present")
-            out &= np.asarray(col) == value
+            out &= self._column(graph, name) == value
         for name, (low, high) in self.ranges.items():
-            col = graph.edge_properties.get(name)
-            if col is None:
-                raise KeyError(f"edge attribute {name!r} not present")
-            col = np.asarray(col)
+            col = self._column(graph, name)
             if low is not None:
                 out &= col >= low
             if high is not None:
                 out &= col <= high
         return out
 
+    def selection(self, graph) -> np.ndarray:
+        """Matching edge ids in ascending order, using the snapshot's
+        sorted indexes when an equality predicate pins an indexed
+        column; equivalent to ``np.flatnonzero(self.mask(graph))``."""
+        snap = graph.snapshot()
+        # Validate every referenced column up front so the indexed and
+        # scanning paths raise identically.
+        for name in (*self.equals, *self.ranges):
+            self._column(snap, name)
+        indexed = {
+            name: value
+            for name, value in self.equals.items()
+            if snap.has_edge_index(name)
+        }
+        if not indexed:
+            return np.flatnonzero(self.mask(snap))
+        # Probe the most selective index; stable argsort means the
+        # candidate ids come back ascending, i.e. in edge order.
+        probe = min(
+            indexed, key=lambda n: snap.edge_indexes[n].count(indexed[n])
+        )
+        cand = snap.equality_candidates(probe, indexed[probe])
+        for name, value in self.equals.items():
+            if name == probe or cand.size == 0:
+                continue
+            cand = cand[self._column(snap, name)[cand] == value]
+        for name, (low, high) in self.ranges.items():
+            if cand.size == 0:
+                break
+            col = self._column(snap, name)[cand]
+            keep = np.ones(cand.size, dtype=bool)
+            if low is not None:
+                keep &= col >= low
+            if high is not None:
+                keep &= col <= high
+            cand = cand[keep]
+        return np.ascontiguousarray(cand, dtype=np.int64)
 
-def filter_edges(graph: PropertyGraph, flt: EdgeFilter) -> PropertyGraph:
+
+def filter_edges(graph, flt: EdgeFilter) -> PropertyGraph:
     """Sub-multigraph of the edges matching ``flt`` (vertices preserved)."""
-    return graph.select_edges(flt.mask(graph))
+    snap = graph.snapshot()
+    return snap.graph.select_edges(flt.selection(snap))

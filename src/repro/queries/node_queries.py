@@ -1,34 +1,34 @@
-"""Node-level queries: lookups, rankings, neighbourhoods."""
+"""Node-level queries: lookups, rankings, neighbourhoods.
+
+Every function accepts either a bare
+:class:`~repro.graph.property_graph.PropertyGraph` or a prebuilt
+:class:`~repro.serve.snapshot.GraphSnapshot`; bare graphs are routed
+through their memoized snapshot, so repeated queries share one set of
+prebuilt indexes.  Results are byte-identical either way.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.property_graph import PropertyGraph
-
 __all__ = ["vertex_by_host_id", "degree_top_k", "neighbors"]
 
 
-def vertex_by_host_id(graph: PropertyGraph, host_id: int) -> int | None:
+def vertex_by_host_id(graph, host_id: int) -> int | None:
     """Vertex index of the host with vertex-property ``ID == host_id``.
 
-    Binary search over the sorted ID column (the mapping stage stores hosts
-    sorted); returns None when the host is unknown.
+    Probes the snapshot's sorted host-ID index; returns None when the
+    host is unknown.  Graphs without an ``ID`` column use vertex indices
+    as identities (the generated-graph convention).
     """
-    ids = graph.vertex_properties.get("ID")
-    if ids is None:
+    snap = graph.snapshot()
+    if snap.host_index is None:
         # Generated graphs use vertex indices as identities.
-        return int(host_id) if 0 <= host_id < graph.n_vertices else None
-    ids = np.asarray(ids)
-    pos = int(np.searchsorted(ids, host_id))
-    if pos < ids.size and ids[pos] == host_id:
-        return pos
-    return None
+        return int(host_id) if 0 <= host_id < snap.n_vertices else None
+    return snap.host_vertex(host_id)
 
 
-def degree_top_k(
-    graph: PropertyGraph, k: int, *, kind: str = "total"
-) -> np.ndarray:
+def degree_top_k(graph, k: int, *, kind: str = "total") -> np.ndarray:
     """Vertex indices of the k highest-degree hosts (busiest talkers).
 
     ``kind`` selects ``"in"`` (popular services), ``"out"`` (chatty
@@ -36,34 +36,38 @@ def degree_top_k(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    snap = graph.snapshot()
     if kind == "in":
-        deg = graph.in_degrees()
+        deg = snap.in_degree
     elif kind == "out":
-        deg = graph.out_degrees()
+        deg = snap.out_degree
     elif kind == "total":
-        deg = graph.degrees()
+        deg = snap.total_degree
     else:
         raise ValueError(f"unknown degree kind {kind!r}")
-    k = min(k, graph.n_vertices)
+    k = min(k, snap.n_vertices)
     top = np.argpartition(deg, -k)[-k:]
     return top[np.argsort(-deg[top], kind="stable")]
 
 
-def neighbors(
-    graph: PropertyGraph, vertex: int, *, direction: str = "out"
-) -> np.ndarray:
+def neighbors(graph, vertex: int, *, direction: str = "out") -> np.ndarray:
     """Distinct neighbour vertices of ``vertex``.
 
     ``direction``: "out" (hosts this one contacted), "in" (hosts that
-    contacted it), or "both".
+    contacted it), or "both".  One CSR row gather per direction — no
+    full-column scan.
     """
-    if not 0 <= vertex < graph.n_vertices:
+    snap = graph.snapshot()
+    if not 0 <= vertex < snap.n_vertices:
         raise ValueError(f"vertex {vertex} out of range")
-    parts = []
-    if direction in ("out", "both"):
-        parts.append(graph.dst[graph.src == vertex])
-    if direction in ("in", "both"):
-        parts.append(graph.src[graph.dst == vertex])
-    if not parts:
-        raise ValueError(f"unknown direction {direction!r}")
-    return np.unique(np.concatenate(parts))
+    if direction == "out":
+        return snap.out_neighbors(vertex).copy()
+    if direction == "in":
+        return snap.in_neighbors(vertex).copy()
+    if direction == "both":
+        return np.unique(
+            np.concatenate(
+                [snap.out_neighbors(vertex), snap.in_neighbors(vertex)]
+            )
+        )
+    raise ValueError(f"unknown direction {direction!r}")

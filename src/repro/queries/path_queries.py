@@ -1,21 +1,22 @@
 """Path queries: reachability and shortest paths (lateral-movement analysis).
 
 All traversals are frontier-at-a-time BFS over the CSR adjacency — one
-sparse row-gather per level, no per-vertex Python.
+sparse row-gather per level, no per-vertex Python.  The CSR comes from
+the graph's memoized snapshot, so a workload of many path queries builds
+the adjacency exactly once per graph (historically it was rebuilt from
+scratch on every call).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.property_graph import PropertyGraph
-
 __all__ = ["k_hop_neighborhood", "shortest_path_length", "reachable_within"]
 
 
-def _csr(graph: PropertyGraph):
-    adj = graph.simple_graph().to_sparse_adjacency(weighted=False)
-    return adj.indptr, adj.indices
+def _csr(graph):
+    snap = graph.snapshot()
+    return snap.out_indptr, snap.out_indices
 
 
 def _expand(indptr, indices, frontier: np.ndarray) -> np.ndarray:
@@ -34,9 +35,7 @@ def _expand(indptr, indices, frontier: np.ndarray) -> np.ndarray:
     return indices[offsets + within]
 
 
-def k_hop_neighborhood(
-    graph: PropertyGraph, source: int, k: int
-) -> np.ndarray:
+def k_hop_neighborhood(graph, source: int, k: int) -> np.ndarray:
     """All vertices within ``k`` directed hops of ``source`` (inclusive).
 
     The blast-radius query: which hosts could an attacker on ``source``
@@ -60,9 +59,7 @@ def k_hop_neighborhood(
     return np.flatnonzero(seen)
 
 
-def shortest_path_length(
-    graph: PropertyGraph, source: int, target: int
-) -> int | None:
+def shortest_path_length(graph, source: int, target: int) -> int | None:
     """Directed hop distance from ``source`` to ``target``; None if
     unreachable."""
     if not 0 <= source < graph.n_vertices:
@@ -90,7 +87,7 @@ def shortest_path_length(
 
 
 def reachable_within(
-    graph: PropertyGraph, source: int, max_hops: int | None = None
+    graph, source: int, max_hops: int | None = None
 ) -> np.ndarray:
     """Boolean reachability vector from ``source`` (optionally bounded)."""
     hops = max_hops if max_hops is not None else graph.n_vertices

@@ -5,6 +5,10 @@ fan-out stars (one source, many distinct destinations — scanning), fan-in
 stars (many sources converging on one destination — DDoS), and per-pair
 flow aggregation (the edge-collapse a property-graph database performs
 before anomaly scoring).
+
+The motif queries read distinct-peer counts straight off the snapshot's
+CSR row pointers (``np.diff`` of ``indptr``), so no per-query simple-graph
+projection is performed.
 """
 
 from __future__ import annotations
@@ -13,37 +17,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.property_graph import PropertyGraph
-
 __all__ = ["fan_out_motif", "fan_in_motif", "host_pair_aggregate",
            "PairAggregate"]
 
 
-def fan_out_motif(
-    graph: PropertyGraph, min_distinct_destinations: int
-) -> np.ndarray:
+def fan_out_motif(graph, min_distinct_destinations: int) -> np.ndarray:
     """Sources contacting at least ``min_distinct_destinations`` distinct
     hosts (the scanning star).  Returns the centre vertex indices."""
     if min_distinct_destinations < 1:
         raise ValueError("min_distinct_destinations must be >= 1")
-    s, _d = graph.distinct_edge_pairs()
-    if s.size == 0:
-        return np.empty(0, dtype=np.int64)
-    counts = np.bincount(s, minlength=graph.n_vertices)
+    snap = graph.snapshot()
+    counts = snap.distinct_out_degrees()
     return np.flatnonzero(counts >= min_distinct_destinations)
 
 
-def fan_in_motif(
-    graph: PropertyGraph, min_distinct_sources: int
-) -> np.ndarray:
+def fan_in_motif(graph, min_distinct_sources: int) -> np.ndarray:
     """Destinations contacted by at least ``min_distinct_sources`` distinct
     hosts (the DDoS convergence star)."""
     if min_distinct_sources < 1:
         raise ValueError("min_distinct_sources must be >= 1")
-    _s, d = graph.distinct_edge_pairs()
-    if d.size == 0:
-        return np.empty(0, dtype=np.int64)
-    counts = np.bincount(d, minlength=graph.n_vertices)
+    snap = graph.snapshot()
+    counts = snap.distinct_in_degrees()
     return np.flatnonzero(counts >= min_distinct_sources)
 
 
@@ -61,41 +55,42 @@ class PairAggregate:
         return int(self.src.size)
 
 
-def host_pair_aggregate(graph: PropertyGraph) -> PairAggregate:
+def host_pair_aggregate(graph) -> PairAggregate:
     """Collapse parallel edges into per-(src, dst) traffic totals.
 
     Requires the byte/packet Netflow attributes; one ``np.unique`` pass
     plus ``bincount`` reductions.
     """
+    g = graph.snapshot().graph
     for needed in ("OUT_BYTES", "IN_BYTES", "OUT_PKTS", "IN_PKTS"):
-        if needed not in graph.edge_properties:
+        if needed not in g.edge_properties:
             raise KeyError(f"edge attribute {needed!r} not present")
-    if graph.n_edges == 0:
+    if g.n_edges == 0:
         empty = np.empty(0, dtype=np.int64)
         return PairAggregate(empty, empty, empty, empty, empty)
-    key = graph.src * np.int64(graph.n_vertices) + graph.dst
+    key = g.src * np.int64(g.n_vertices) + g.dst
     uniq, inverse, counts = np.unique(
         key, return_inverse=True, return_counts=True
     )
     total_bytes = np.bincount(
         inverse,
         weights=(
-            np.asarray(graph.edge_properties["OUT_BYTES"], dtype=np.float64)
-            + np.asarray(graph.edge_properties["IN_BYTES"], dtype=np.float64)
+            np.asarray(g.edge_properties["OUT_BYTES"], dtype=np.float64)
+            + np.asarray(g.edge_properties["IN_BYTES"], dtype=np.float64)
         ),
         minlength=uniq.size,
     ).astype(np.int64)
     total_packets = np.bincount(
         inverse,
         weights=(
-            np.asarray(graph.edge_properties["OUT_PKTS"], dtype=np.float64)
-            + np.asarray(graph.edge_properties["IN_PKTS"], dtype=np.float64)
+            np.asarray(g.edge_properties["OUT_PKTS"], dtype=np.float64)
+            + np.asarray(g.edge_properties["IN_PKTS"], dtype=np.float64)
         ),
         minlength=uniq.size,
     ).astype(np.int64)
     return PairAggregate(
-        src=(uniq // graph.n_vertices).astype(np.int64),
-        dst=(uniq % graph.n_vertices).astype(np.int64),
+        src=(uniq // g.n_vertices).astype(np.int64),
+        dst=(uniq % g.n_vertices).astype(np.int64),
         n_flows=counts.astype(np.int64),
         total_bytes=total_bytes,
         total_packets=total_packets,

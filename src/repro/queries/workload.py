@@ -5,12 +5,18 @@ families against a property graph, timing each family — the measurement an
 IDS benchmark performs on a system under test once a dataset has been
 generated.  Query targets (hosts, filters) are drawn deterministically
 from a seeded RNG so runs are repeatable.
+
+:meth:`QueryWorkload.run` executes the mix in-process through the
+graph's memoized snapshot (adjacency and attribute indexes built once
+per graph); :meth:`QueryWorkload.build_queries` emits the identical mix
+as declarative :class:`~repro.serve.server.Query` objects for batched
+execution through a :class:`~repro.serve.server.QueryServer`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,26 +33,61 @@ from repro.queries.subgraph_queries import (
 
 __all__ = ["QueryWorkload", "WorkloadReport"]
 
+_WORKLOAD_PORTS = (22, 53, 80, 443)
+
 
 @dataclass(frozen=True)
 class WorkloadReport:
-    """Per-family timing of one workload run."""
+    """Per-family timing of one workload run.
+
+    ``queries_by_family`` counts the queries actually issued per family;
+    a family can be empty (e.g. the edge family on a graph without
+    Netflow attributes), in which case its throughput reports ``0.0``
+    and :meth:`summary` skips it.
+    """
 
     n_edges: int
     queries_per_family: int
     seconds_by_family: dict
+    queries_by_family: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return float(sum(self.seconds_by_family.values()))
 
+    def _count(self, family: str) -> int:
+        return int(
+            self.queries_by_family.get(family, self.queries_per_family)
+        )
+
     def queries_per_second(self) -> dict:
+        """Nominal per-family throughput; ``0.0`` for families that ran
+        no queries (or whose elapsed time was unmeasurably small),
+        never ``inf``."""
         return {
             family: (
-                self.queries_per_family / secs if secs > 0 else float("inf")
+                self.queries_per_family / secs
+                if secs > 0 and self._count(family) > 0
+                else 0.0
             )
             for family, secs in self.seconds_by_family.items()
         }
+
+    def summary(self) -> str:
+        """Printable per-family table; un-timed families are skipped."""
+        qps = self.queries_per_second()
+        lines = [
+            f"{self.n_edges:,} edges, {self.queries_per_family} queries "
+            f"per family, {self.total_seconds * 1e3:.2f} ms total"
+        ]
+        for family, secs in self.seconds_by_family.items():
+            if self._count(family) == 0:
+                continue
+            lines.append(
+                f"  {family:<9} {secs * 1e3:10.3f} ms  "
+                f"{qps[family]:12,.0f} q/s"
+            )
+        return "\n".join(lines)
 
 
 class QueryWorkload:
@@ -74,47 +115,106 @@ class QueryWorkload:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def run(self, graph: PropertyGraph) -> WorkloadReport:
-        """Execute all four families and report per-family time."""
+    def _draw(self, graph) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Deterministic query targets: vertex targets, edge-filter
+        ports, and whether the edge family applies."""
         if graph.n_vertices == 0 or graph.n_edges == 0:
             raise ValueError("workload needs a non-empty graph")
         rng = np.random.default_rng(self.seed)
         targets = rng.integers(0, graph.n_vertices, size=self.n_queries)
-        timings: dict[str, float] = {}
-
-        t0 = time.perf_counter()
-        for v in targets:
-            neighbors(graph, int(v), direction="both")
-        degree_top_k(graph, 10)
-        timings["node"] = time.perf_counter() - t0
-
         has_props = "PROTOCOL" in graph.edge_properties
-        t0 = time.perf_counter()
-        if has_props:
-            ports = rng.choice([22, 53, 80, 443], size=self.n_queries)
-            for port in ports:
-                flt = EdgeFilter(
-                    equals={"PROTOCOL": int(Protocol.TCP),
-                            "DEST_PORT": int(port)},
-                    ranges={"OUT_BYTES": (1, None)},
-                )
-                filter_edges(graph, flt)
-        timings["edge"] = time.perf_counter() - t0
+        ports = rng.choice(_WORKLOAD_PORTS, size=self.n_queries)
+        return targets, ports, has_props
+
+    @staticmethod
+    def _edge_filter(port: int) -> EdgeFilter:
+        return EdgeFilter(
+            equals={"PROTOCOL": int(Protocol.TCP), "DEST_PORT": int(port)},
+            ranges={"OUT_BYTES": (1, None)},
+        )
+
+    def run(self, graph: PropertyGraph) -> WorkloadReport:
+        """Execute all four families and report per-family time.
+
+        All queries route through ``graph.snapshot()``, so the CSR
+        adjacency and attribute indexes are constructed exactly once
+        per graph, not once per query."""
+        targets, ports, has_props = self._draw(graph)
+        snap = graph.snapshot()
+        timings: dict[str, float] = {}
+        counts: dict[str, int] = {}
 
         t0 = time.perf_counter()
         for v in targets:
-            k_hop_neighborhood(graph, int(v), self.k_hops)
-        timings["path"] = time.perf_counter() - t0
+            neighbors(snap, int(v), direction="both")
+        degree_top_k(snap, 10)
+        timings["node"] = time.perf_counter() - t0
+        counts["node"] = self.n_queries + 1
 
         t0 = time.perf_counter()
-        fan_out_motif(graph, 10)
-        fan_in_motif(graph, 10)
         if has_props:
-            host_pair_aggregate(graph)
+            for port in ports:
+                filter_edges(snap, self._edge_filter(int(port)))
+        timings["edge"] = time.perf_counter() - t0
+        counts["edge"] = self.n_queries if has_props else 0
+
+        t0 = time.perf_counter()
+        for v in targets:
+            k_hop_neighborhood(snap, int(v), self.k_hops)
+        timings["path"] = time.perf_counter() - t0
+        counts["path"] = self.n_queries
+
+        t0 = time.perf_counter()
+        fan_out_motif(snap, 10)
+        fan_in_motif(snap, 10)
+        if has_props:
+            host_pair_aggregate(snap)
         timings["subgraph"] = time.perf_counter() - t0
+        counts["subgraph"] = 3 if has_props else 2
 
         return WorkloadReport(
             n_edges=graph.n_edges,
             queries_per_family=self.n_queries,
             seconds_by_family=timings,
+            queries_by_family=counts,
         )
+
+    # ------------------------------------------------------------------
+    def build_queries(self, graph, *, families=None) -> list:
+        """The same deterministic mix as :meth:`run`, as declarative
+        :class:`~repro.serve.server.Query` objects for a
+        :class:`~repro.serve.server.QueryServer` batch.
+
+        ``families`` optionally restricts the mix (iterable of family
+        names); target draws are identical regardless of the subset.
+        """
+        from repro.serve.server import Query
+
+        targets, ports, has_props = self._draw(graph)
+        wanted = set(families) if families is not None else None
+
+        def want(family: str) -> bool:
+            return wanted is None or family in wanted
+
+        batch: list[Query] = []
+        if want("node"):
+            batch.extend(
+                Query.neighbors(int(v), direction="both") for v in targets
+            )
+            batch.append(Query.degree_top_k(10))
+        if want("edge") and has_props:
+            for port in ports:
+                flt = self._edge_filter(int(port))
+                batch.append(
+                    Query.edge_filter(equals=flt.equals, ranges=flt.ranges)
+                )
+        if want("path"):
+            batch.extend(
+                Query.k_hop(int(v), self.k_hops) for v in targets
+            )
+        if want("subgraph"):
+            batch.append(Query.fan_out(10))
+            batch.append(Query.fan_in(10))
+            if has_props:
+                batch.append(Query.pair_aggregate())
+        return batch

@@ -1,0 +1,270 @@
+"""Immutable, index-accelerated snapshot of one property graph.
+
+A :class:`GraphSnapshot` pre-computes, once, everything the four query
+families repeatedly need:
+
+* the **out-CSR** and **in-CSR** adjacency of the simple-graph
+  projection (distinct ``(src, dst)`` pairs, lexicographically sorted),
+  so BFS traversals and neighbourhood lookups never rebuild adjacency;
+* the multigraph **degree arrays** (in / out / total);
+* **sorted per-attribute indexes** for the edge columns the Netflow
+  equality filters pin (``PROTOCOL``, ``DEST_PORT``, ``STATE``) and for
+  the ``ID`` vertex column, turning equality predicates into
+  ``searchsorted`` probes instead of full-column boolean scans.
+
+Every array is marked read-only, so any number of server threads can
+share one snapshot without locks.  Each snapshot carries a process-wide
+monotone ``epoch``; the :class:`~repro.serve.server.QueryServer` keys
+its result cache on it, so regenerating a graph (a new snapshot, a new
+epoch) invalidates stale cached results without any coordination.
+
+Snapshots are memoized on the graph via
+:meth:`repro.graph.property_graph.PropertyGraph.snapshot`, which is also
+what fixes the historical per-query CSR rebuild in the path queries: the
+adjacency is now constructed exactly once per graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["GraphSnapshot", "SortedIndex", "INDEXED_EDGE_COLUMNS"]
+
+#: Edge columns that get a sorted equality index at snapshot time —
+#: the columns :class:`repro.queries.edge_queries.EdgeFilter` pins in
+#: the Netflow workload.
+INDEXED_EDGE_COLUMNS = ("PROTOCOL", "DEST_PORT", "STATE")
+
+#: Vertex column indexed for host lookups.
+HOST_ID_COLUMN = "ID"
+
+_EPOCHS = itertools.count(1)
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+@dataclass(frozen=True)
+class SortedIndex:
+    """Sorted secondary index over one attribute column.
+
+    ``values`` is the column sorted ascending; ``order`` is the stable
+    argsort permutation mapping sorted positions back to original row
+    ids.  Stability matters: rows with equal keys keep ascending row
+    order, so an equality probe returns candidates already sorted by
+    original position — selecting with them preserves edge order exactly
+    like a boolean mask would.
+    """
+
+    values: np.ndarray
+    order: np.ndarray
+
+    @classmethod
+    def build(cls, column: np.ndarray) -> "SortedIndex":
+        column = np.asarray(column)
+        order = np.argsort(column, kind="stable").astype(np.int64)
+        return cls(
+            values=_freeze(column[order]), order=_freeze(order)
+        )
+
+    def equal_range(self, value) -> tuple[int, int]:
+        """``[lo, hi)`` span of ``value`` in the sorted order."""
+        lo = int(np.searchsorted(self.values, value, side="left"))
+        hi = int(np.searchsorted(self.values, value, side="right"))
+        return lo, hi
+
+    def candidates(self, value) -> np.ndarray:
+        """Row ids with the column equal to ``value``, ascending."""
+        lo, hi = self.equal_range(value)
+        return self.order[lo:hi]
+
+    def count(self, value) -> int:
+        lo, hi = self.equal_range(value)
+        return hi - lo
+
+
+class GraphSnapshot:
+    """Read-only indexed view of a :class:`PropertyGraph`.
+
+    Build via :meth:`build` (or, memoized, via
+    ``PropertyGraph.snapshot()``).  The underlying graph object is kept
+    as :attr:`graph` — attribute columns are shared, not copied.
+    """
+
+    __slots__ = (
+        "graph",
+        "epoch",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "out_degree",
+        "in_degree",
+        "total_degree",
+        "edge_indexes",
+        "host_index",
+    )
+
+    def __init__(
+        self,
+        *,
+        graph: PropertyGraph,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        out_degree: np.ndarray,
+        in_degree: np.ndarray,
+        edge_indexes: dict[str, SortedIndex],
+        host_index: SortedIndex | None,
+    ) -> None:
+        self.graph = graph
+        self.epoch = next(_EPOCHS)
+        self.out_indptr = _freeze(out_indptr)
+        self.out_indices = _freeze(out_indices)
+        self.in_indptr = _freeze(in_indptr)
+        self.in_indices = _freeze(in_indices)
+        self.out_degree = _freeze(out_degree)
+        self.in_degree = _freeze(in_degree)
+        self.total_degree = _freeze(out_degree + in_degree)
+        self.edge_indexes = edge_indexes
+        self.host_index = host_index
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: PropertyGraph) -> "GraphSnapshot":
+        """Construct every index in one pass over the graph."""
+        n = graph.n_vertices
+        s, d = graph.distinct_edge_pairs()
+        s = np.ascontiguousarray(s, dtype=np.int64)
+        d = np.ascontiguousarray(d, dtype=np.int64)
+        # distinct_edge_pairs returns pairs lexicographically sorted by
+        # (src, dst): grouping by src yields the out-CSR directly, with
+        # each row's neighbour list already sorted ascending — the same
+        # canonical layout scipy's coo->csr conversion produces.
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(s, minlength=n), out=out_indptr[1:])
+        # Reverse adjacency: re-sort the distinct pairs by (dst, src).
+        rev = np.lexsort((s, d))
+        in_indices = s[rev]
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(d, minlength=n), out=in_indptr[1:])
+
+        edge_indexes = {
+            name: SortedIndex.build(graph.edge_properties[name])
+            for name in INDEXED_EDGE_COLUMNS
+            if name in graph.edge_properties
+        }
+        host_ids = graph.vertex_properties.get(HOST_ID_COLUMN)
+        host_index = (
+            SortedIndex.build(host_ids) if host_ids is not None else None
+        )
+        return cls(
+            graph=graph,
+            out_indptr=out_indptr,
+            out_indices=d,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            out_degree=graph.out_degrees().astype(np.int64, copy=False),
+            in_degree=graph.in_degrees().astype(np.int64, copy=False),
+            edge_indexes=edge_indexes,
+            host_index=host_index,
+        )
+
+    # ------------------------------------------------------------------
+    # PropertyGraph-compatible surface (what the query families read)
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    @property
+    def vertex_properties(self) -> dict:
+        return self.graph.vertex_properties
+
+    @property
+    def edge_properties(self) -> dict:
+        return self.graph.edge_properties
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A snapshot is its own snapshot (duck-typed with
+        ``PropertyGraph.snapshot``), so every query family accepts
+        either a bare graph or a prebuilt snapshot."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSnapshot(epoch={self.epoch}, |V|={self.n_vertices}, "
+            f"|E|={self.n_edges}, indexes={sorted(self.edge_indexes)})"
+        )
+
+    # ------------------------------------------------------------------
+    # adjacency probes
+    # ------------------------------------------------------------------
+    def out_neighbors(self, vertex: int) -> np.ndarray:
+        """Distinct out-neighbours, ascending (read-only view)."""
+        return self.out_indices[
+            self.out_indptr[vertex]:self.out_indptr[vertex + 1]
+        ]
+
+    def in_neighbors(self, vertex: int) -> np.ndarray:
+        """Distinct in-neighbours, ascending (read-only view)."""
+        return self.in_indices[
+            self.in_indptr[vertex]:self.in_indptr[vertex + 1]
+        ]
+
+    def distinct_out_degrees(self) -> np.ndarray:
+        """Distinct-destination counts per source (fan-out widths)."""
+        return np.diff(self.out_indptr)
+
+    def distinct_in_degrees(self) -> np.ndarray:
+        """Distinct-source counts per destination (fan-in widths)."""
+        return np.diff(self.in_indptr)
+
+    # ------------------------------------------------------------------
+    # attribute probes
+    # ------------------------------------------------------------------
+    def has_edge_index(self, name: str) -> bool:
+        return name in self.edge_indexes
+
+    def equality_candidates(self, name: str, value) -> np.ndarray:
+        """Edge ids where ``name == value`` (ascending), via the index."""
+        return self.edge_indexes[name].candidates(value)
+
+    def host_vertex(self, host_id: int) -> int | None:
+        """First vertex whose ``ID`` equals ``host_id``; None if absent
+        or if the graph has no ``ID`` column (callers fall back to the
+        identity mapping generated graphs use)."""
+        if self.host_index is None:
+            return None
+        lo, hi = self.host_index.equal_range(host_id)
+        if lo == hi:
+            return None
+        return int(self.host_index.order[lo])
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the snapshot's own index arrays."""
+        total = (
+            self.out_indptr.nbytes + self.out_indices.nbytes
+            + self.in_indptr.nbytes + self.in_indices.nbytes
+            + self.out_degree.nbytes + self.in_degree.nbytes
+            + self.total_degree.nbytes
+        )
+        for idx in self.edge_indexes.values():
+            total += idx.values.nbytes + idx.order.nbytes
+        if self.host_index is not None:
+            total += (
+                self.host_index.values.nbytes + self.host_index.order.nbytes
+            )
+        return total
