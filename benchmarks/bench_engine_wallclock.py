@@ -11,6 +11,11 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   partition coalescing, the per-backend transport overhead breakdown
   (submit/serialize/ipc/compute), and a digest of the output graph
   proving every backend produced the bit-identical dataset;
+* the socket cluster backend versus the local pool (section ``cluster``):
+  PGPBA/PGSK wall at 2 and 4 loopback worker daemons with the network
+  transport breakdown (bytes on the wire, round trips, serialize and
+  ipc-wait shares), asserting the cluster digest matches the pool digest
+  bit for bit;
 * peak driver memory of ``distinct()`` under the hash-exchange shuffle
   versus the legacy collect-everything shuffle (tracemalloc peaks on the
   serial backend, so only the shuffle structure differs);
@@ -67,7 +72,10 @@ from repro.engine import ClusterContext, available_backends
 RESULTS_DIR = Path(__file__).parent / "results"
 JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
 
-BACKENDS = tuple(available_backends())
+# The generic sweeps cover the local backends; `cluster` needs live
+# worker daemons, so it gets its own section (run_cluster_transport)
+# that launches loopback daemons for the duration.
+BACKENDS = tuple(b for b in available_backends() if b != "cluster")
 
 
 def _worker_matrix(backend: str) -> tuple[int | None, ...]:
@@ -661,8 +669,98 @@ def run_out_of_core(seed_bundle) -> dict:
     }
 
 
+def run_cluster_transport(seed_bundle) -> dict:
+    """Socket cluster backend vs the local pool: PGPBA/PGSK wall clock
+    plus the transport breakdown (network bytes, round trips, serialize
+    and ipc-wait shares) at 2 and 4 loopback worker daemons.  The
+    cluster digest must match the pool digest bit for bit."""
+    from repro.engine.cluster import (
+        launch_worker,
+        shutdown_worker,
+        sockets_available,
+    )
+
+    if not sockets_available():
+        return {"skipped": "loopback sockets unavailable"}
+    graph, analysis = seed_bundle.graph, seed_bundle.analysis
+    pgsk = PGSK(seed=11, kronfit_iterations=8, kronfit_swaps=30)
+    initiator = pgsk.fit_initiator(graph)
+    size = min(_sizes())
+    counts = (2,) if os.environ.get("REPRO_BENCH_SMOKE") else (2, 4)
+    records: list[dict] = []
+    for n_workers in counts:
+        procs, addrs = [], []
+        for _ in range(n_workers):
+            proc, addr = launch_worker()
+            procs.append(proc)
+            addrs.append(addr)
+        try:
+            for algo in ("PGPBA", "PGSK"):
+
+                def generate(ctx, algo=algo):
+                    if algo == "PGPBA":
+                        return PGPBA(fraction=2.0, seed=11).generate(
+                            graph, analysis, size, context=ctx
+                        )
+                    return pgsk.generate(
+                        graph, analysis, size,
+                        context=ctx, initiator=initiator,
+                    )
+
+                with ClusterContext(
+                    n_nodes=4, executor_cores=12, partition_multiplier=2,
+                    executor="pool", local_workers=n_workers,
+                ) as ctx:
+                    result, pool_wall = measure_wall(
+                        lambda: generate(ctx)
+                    )
+                    pool_digest = _graph_digest(result.graph)
+                with ClusterContext(
+                    n_nodes=4, executor_cores=12, partition_multiplier=2,
+                    executor="cluster", workers=addrs,
+                ) as ctx:
+                    result, wall = measure_wall(lambda: generate(ctx))
+                    digest = _graph_digest(result.graph)
+                    transport = ctx.metrics.transport_breakdown()
+                records.append(
+                    {
+                        "algorithm": algo,
+                        "target_edges": size,
+                        "workers": n_workers,
+                        "wall_seconds": round(wall, 4),
+                        "pool_wall_seconds": round(pool_wall, 4),
+                        "cluster_over_pool": round(wall / pool_wall, 3)
+                        if pool_wall
+                        else None,
+                        "network_bytes": int(transport["network_bytes"]),
+                        "round_trips": int(transport["round_trips"]),
+                        "serialize_seconds": round(
+                            transport["serialize_seconds"], 4
+                        ),
+                        "ipc_wait_seconds": round(
+                            transport["ipc_wait_seconds"], 4
+                        ),
+                        "digest": digest,
+                        "digest_matches_pool": digest == pool_digest,
+                    }
+                )
+        finally:
+            for addr in addrs:
+                shutdown_worker(addr)
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except Exception:
+                    proc.kill()
+    return {
+        "records": records,
+        "all_match": all(r["digest_matches_pool"] for r in records),
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
+    cluster = run_cluster_transport(seed_bundle)
     shuffle = run_shuffle_memory()
     fusion = run_fusion_comparison()
     recovery = run_fault_recovery()
@@ -672,6 +770,7 @@ def run_engine_wallclock(seed_bundle) -> dict:
     report = {
         "cpu_count": os.cpu_count(),
         "backends": backends,
+        "cluster": cluster,
         "distinct_shuffle_memory": shuffle,
         "stage_fusion": fusion,
         "fault_recovery": recovery,
@@ -697,6 +796,29 @@ def run_engine_wallclock(seed_bundle) -> dict:
     ]
     table = format_table(headers, rows)
     print(f"\n== Engine wall-clock: executor backends ==\n{table}")
+    if "records" in cluster:
+        cluster_rows = [
+            [
+                r["algorithm"], r["workers"],
+                f"{r['wall_seconds']:.3f}",
+                f"{r['pool_wall_seconds']:.3f}",
+                f"{r['cluster_over_pool']:.2f}x",
+                f"{r['network_bytes'] / 2**20:.1f}",
+                r["round_trips"],
+                str(r["digest_matches_pool"]),
+            ]
+            for r in cluster["records"]
+        ]
+        print(
+            "\n== Cluster transport: socket daemons vs local pool ==\n"
+            + format_table(
+                [
+                    "algorithm", "daemons", "wall_s", "pool_s",
+                    "vs pool", "net MiB", "round trips", "match",
+                ],
+                cluster_rows,
+            )
+        )
     print(
         "\n== distinct() peak driver memory "
         f"({shuffle['rows']:,} rows) ==\n"
@@ -893,6 +1015,22 @@ def test_engine_wallclock(benchmark, seed_bundle):
             f"pool ({pool_wall:.3f}s) slower than serial "
             f"({serial_wall:.3f}s) with real cores available"
         )
+
+    # Cluster transport: byte-identical to the pool on every
+    # (algorithm, daemon-count) pair, with real traffic on the wire.
+    cluster = report["cluster"]
+    if "records" in cluster:
+        assert cluster["all_match"], (
+            "cluster runs diverged from pool: "
+            + ", ".join(
+                f"{r['algorithm']}@{r['workers']}"
+                for r in cluster["records"]
+                if not r["digest_matches_pool"]
+            )
+        )
+        for r in cluster["records"]:
+            assert r["network_bytes"] > 0
+            assert r["round_trips"] > 0
 
     # The exchange shuffle must beat the collect shuffle on driver memory.
     mem = report["distinct_shuffle_memory"]

@@ -15,7 +15,10 @@ this module provides the equivalent:
   cache hit ratio and queries/second;
 * ``engine-info`` — print the resolved engine configuration (backend,
   workers, fusion, fault plan, memory budget, spill dir, task grain)
-  with the source of each setting, for debugging env-vs-flag precedence.
+  with the source of each setting, for debugging env-vs-flag precedence;
+* ``worker``   — run a cluster worker daemon that executes task batches
+  for a driver using the ``cluster`` executor backend and serves
+  spill/shuffle blocks to peer workers.
 
 Usage: ``python -m repro.cli <command> --help``.
 """
@@ -39,17 +42,22 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cores", type=int, default=12,
                    help="executor cores per node")
     p.add_argument(
-        "--executor", choices=("serial", "threads", "processes", "pool"),
+        "--executor",
+        choices=("serial", "threads", "processes", "pool", "cluster"),
         default=None,
         help="real execution backend for partition tasks (default: "
         "REPRO_EXECUTOR env var, then serial); 'pool' reuses persistent "
-        "forked workers with shared-memory transport; only wall-clock "
-        "time changes, the simulated cluster metrics do not",
+        "forked workers with shared-memory transport, 'cluster' "
+        "dispatches to remote 'repro worker' daemons over sockets; only "
+        "wall-clock time changes, the simulated cluster metrics do not",
     )
     p.add_argument(
-        "--workers", type=int, default=None,
-        help="local worker threads/processes for the executor backend "
-        "(default: REPRO_LOCAL_WORKERS env var, then the CPU count)",
+        "--workers", type=str, default=None, metavar="N|ADDRS",
+        help="an integer sizes the local backends (threads/processes/"
+        "pool; default: REPRO_LOCAL_WORKERS env var, then the CPU "
+        "count); a comma-separated address list (host:port or "
+        "unix:/path) names the 'cluster' backend's worker daemons "
+        "(default: REPRO_WORKERS env var)",
     )
     p.add_argument(
         "--target-partition-bytes", type=str, default=None, metavar="SIZE",
@@ -171,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(p)
 
+    p = sub.add_parser(
+        "worker",
+        help="run a cluster worker daemon: listens for a driver using "
+        "the 'cluster' executor backend, executes its task batches and "
+        "serves spill/shuffle blocks to peer workers",
+    )
+    p.add_argument(
+        "--listen", type=str, default="127.0.0.1:0", metavar="ADDR",
+        help="bind address, host:port (port 0 picks an ephemeral port, "
+        "announced on stdout) or unix:/path (default 127.0.0.1:0)",
+    )
+    p.add_argument(
+        "--root", type=Path, action="append", default=[], metavar="DIR",
+        help="additionally serve block files under this directory to "
+        "fetch requests (repeatable; drivers register their session "
+        "spill roots automatically at handshake)",
+    )
+
     p = sub.add_parser("detect", help="detect anomalies in a capture")
     p.add_argument("pcap", type=Path, help="capture to analyse")
     p.add_argument(
@@ -223,15 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _split_workers(value):
+    """The --workers flag is dual-mode: an integer sizes the local
+    backends, anything else is a cluster daemon address list.  Returns
+    ``(local_workers, cluster_workers)`` with the unused side None."""
+    if value is None:
+        return None, None
+    text = str(value).strip()
+    if text.lstrip("+-").isdigit():
+        return int(text), None
+    return None, text
+
+
 def _make_context(args):
     """Build a ClusterContext from the shared engine flags."""
     from repro.engine import ClusterContext
 
+    local_workers, cluster_workers = _split_workers(args.workers)
     return ClusterContext(
         n_nodes=args.nodes,
         executor_cores=args.cores,
         executor=args.executor,
-        local_workers=args.workers,
+        local_workers=local_workers,
+        workers=cluster_workers,
         fusion=False if args.no_fusion else None,
         fault_plan=args.faults,
         max_task_retries=args.max_task_retries,
@@ -369,6 +409,24 @@ def _cmd_engine_info(args) -> int:
              source(args.executor is not None, "REPRO_EXECUTOR")),
             ("workers", str(ctx.executor.workers),
              source(args.workers is not None, "REPRO_LOCAL_WORKERS")),
+        ]
+        if ctx.executor.name == "cluster":
+            from repro.engine.netproto import (
+                HEARTBEAT_INTERVAL_ENV_VAR,
+                HEARTBEAT_TIMEOUT_ENV_VAR,
+            )
+
+            rows += [
+                ("cluster workers", ", ".join(ctx.executor.addresses),
+                 source(args.workers is not None, "REPRO_WORKERS")),
+                ("heartbeat",
+                 f"ping every {ctx.executor.heartbeat_interval}s, "
+                 f"dead after {ctx.executor.heartbeat_timeout}s",
+                 source(False, HEARTBEAT_INTERVAL_ENV_VAR)
+                 if os.environ.get(HEARTBEAT_INTERVAL_ENV_VAR)
+                 else source(False, HEARTBEAT_TIMEOUT_ENV_VAR)),
+            ]
+        rows += [
             ("fusion", "on" if ctx.fusion_enabled else "off",
              source(args.no_fusion, "REPRO_FUSION")),
             ("fault plan", plan.to_json() if plan is not None else "off",
@@ -514,11 +572,28 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.engine.cluster import WorkerDaemon
+
+    daemon = WorkerDaemon(args.listen, served_roots=args.root)
+
+    def _announce(address: str) -> None:
+        # The exact banner launch_worker() and operators key off.
+        print(f"listening on {address}", flush=True)
+
+    try:
+        daemon.run(announce=_announce)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "synth": _cmd_synth,
     "analyze": _cmd_analyze,
     "generate": _cmd_generate,
     "engine-info": _cmd_engine_info,
+    "worker": _cmd_worker,
     "detect": _cmd_detect,
     "veracity": _cmd_veracity,
     "query": _cmd_query,

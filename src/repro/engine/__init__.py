@@ -20,6 +20,16 @@ exceptions, worker deaths and stragglers to prove recovery is
 bit-identical to the fault-free run.
 """
 
+from repro.engine.cluster import (
+    CLUSTER_WORKERS_ENV_VAR,
+    BlockFetcher,
+    ClusterExecutor,
+    WorkerDaemon,
+    launch_worker,
+    resolve_cluster_workers,
+    shutdown_worker,
+    sockets_available,
+)
 from repro.engine.context import ClusterContext
 from repro.engine.executor import (
     TASK_BATCH_ENV_VAR,
@@ -88,6 +98,14 @@ from repro.engine.stream import (
 __all__ = [
     "ClusterContext",
     "ArrayRDD",
+    "CLUSTER_WORKERS_ENV_VAR",
+    "BlockFetcher",
+    "ClusterExecutor",
+    "WorkerDaemon",
+    "launch_worker",
+    "resolve_cluster_workers",
+    "shutdown_worker",
+    "sockets_available",
     "FUSION_ENV_VAR",
     "FAULTS_ENV_VAR",
     "TARGET_PARTITION_BYTES_ENV_VAR",

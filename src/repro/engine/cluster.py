@@ -1,0 +1,1216 @@
+"""Multi-host "cluster" executor: socket worker daemons + remote blocks.
+
+This is the pool backend promoted to sockets (ROADMAP item 1, DESIGN.md
+§12).  Three pieces:
+
+:class:`WorkerDaemon` / ``repro worker --listen <addr>``
+    A standalone asyncio server.  Each driver connection handshakes
+    (protocol version + session config) and gets a private *task child*
+    — a process forked to run the pool backend's
+    :func:`~repro.engine.executor._pool_worker_main` loop verbatim, so
+    task semantics (in-order execution, arena result transport,
+    ``os._exit`` on injected kills) are identical to the pool.  The
+    daemon's event loop bridges socket frames to the child's pipe and
+    keeps answering heartbeat pings while the child computes, so a slow
+    task never looks like a dead worker.  Fetch connections serve
+    spill/shuffle blocks by file name to peers (see below).
+
+:class:`ClusterExecutor` (``ClusterContext(executor="cluster",
+workers=[...])`` / ``REPRO_WORKERS`` / ``--workers``)
+    The driver side: connects to each daemon, ships the existing
+    ``("run", blob, ...)`` cloudpickle batches as length-prefixed frames
+    with large array buffers out-of-band (pickle protocol 5), and
+    mirrors :class:`~repro.engine.executor.PoolExecutor`'s scheduling:
+    batches go only to idle links, workers report strictly in dispatch
+    order, a death blames the first unreported task with
+    :class:`~repro.engine.executor.WorkerDied` and requeues the rest —
+    so :func:`~repro.engine.executor.run_with_recovery` lineage
+    recomputation and :class:`~repro.engine.faults.FaultPlan` injection
+    coordinates work unchanged.  Peer loss is detected two ways: socket
+    EOF/reset (daemon killed) and heartbeat timeout (daemon hung).
+
+:class:`BlockFetcher`
+    The remote tier of the BlockStore: installed via
+    :func:`repro.engine.storage.codecs.set_missing_file_resolver` on the
+    driver and (pre-fork, so children inherit it) in each daemon, it
+    resolves a missing spill/shuffle file by asking every peer daemon
+    for the file by name and materialising the bytes at the expected
+    path — so reduce tasks pull shuffle segments worker-to-worker
+    instead of through the driver.  Blocks travel as their on-disk
+    codec containers (PR 6), already compressed and checksummed.
+
+Determinism: the cluster backend changes only *where* tasks run, never
+what they compute — digests and simulated stage records stay
+byte-identical to the serial backend per seed, which is enforced by
+folding "cluster" into ``available_backends()`` for every existing
+backend-matrix test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing as mp
+import os
+import pickle
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from .executor import (
+    _ARENA_MIN_BYTES,
+    _Arena,
+    _ArenaReader,
+    _cloudpickle,
+    _own_tree,
+    _pool_worker_main,
+    _unlink_segment_names,
+    Executor,
+    SpeculationPolicy,
+    Task,
+    TaskOutcome,
+    WorkerDied,
+    resolve_task_batch,
+)
+from .netproto import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    a_recv_message,
+    a_send_message,
+    client_handshake,
+    connect,
+    parse_address,
+    recv_message,
+    resolve_heartbeat_interval,
+    resolve_heartbeat_timeout,
+    send_message,
+)
+
+__all__ = [
+    "CLUSTER_WORKERS_ENV_VAR",
+    "ClusterExecutor",
+    "WorkerDaemon",
+    "BlockFetcher",
+    "resolve_cluster_workers",
+    "sockets_available",
+    "launch_worker",
+    "shutdown_worker",
+]
+
+CLUSTER_WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def resolve_cluster_workers(
+    value: "Sequence[str] | str | None" = None, *, required: bool = True
+) -> list[str]:
+    """Resolve the cluster worker address list: explicit argument >
+    ``REPRO_WORKERS`` (comma/whitespace separated ``host:port`` or
+    ``unix:/path`` specs)."""
+    if value is None:
+        value = os.environ.get(CLUSTER_WORKERS_ENV_VAR, "")
+    if isinstance(value, str):
+        specs = [s for s in value.replace(",", " ").split() if s]
+    else:
+        specs = [str(s).strip() for s in value if str(s).strip()]
+    if not specs and required:
+        raise ValueError(
+            "the 'cluster' backend needs worker addresses: start daemons "
+            "with 'repro worker --listen host:port' and list them in "
+            f"{CLUSTER_WORKERS_ENV_VAR} (comma-separated) or "
+            "ClusterContext(workers=[...])"
+        )
+    for spec in specs:
+        parse_address(spec)  # fail fast on malformed entries
+    return specs
+
+
+def sockets_available() -> bool:
+    """Can this host bind a loopback TCP socket?  (Sandboxes may not.)"""
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+            probe.listen(1)
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Remote block fetch (the BlockStore's worker-to-worker tier)
+# ----------------------------------------------------------------------
+
+def _locate_block(roots: Sequence[str], name: str) -> "Path | None":
+    """Find a served block file by bare name under any served root.
+
+    Names are opaque ids (spill blocks, shuffle segments, checkpoints
+    all embed unique ids in their file names), so a flat name search is
+    exact; anything path-like is rejected outright — a fetch request
+    can never escape the served roots."""
+    if (
+        not name
+        or os.sep in name
+        or (os.altsep and os.altsep in name)
+        or name in (".", "..")
+        or name.startswith(".")
+    ):
+        return None
+    for root in roots:
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            if name in filenames:
+                return Path(dirpath) / name
+    return None
+
+
+class BlockFetcher:
+    """Missing-file resolver that pulls blocks from peer worker daemons.
+
+    Installed via :func:`~repro.engine.storage.codecs.
+    set_missing_file_resolver`; called with the path a reader wanted and
+    did not find.  Asks each peer for the file by name over a cached
+    fetch connection and writes the bytes atomically at the expected
+    path (tmp file + rename, so concurrent readers never see a torn
+    block).  Returns True iff some peer had the block."""
+
+    def __init__(
+        self,
+        peers: Sequence[str],
+        *,
+        exclude: Sequence[str] = (),
+        timeout: float = 10.0,
+        transport: Any = None,
+    ) -> None:
+        skip = set(exclude)
+        self.peers = [str(p) for p in peers if str(p) not in skip]
+        self.timeout = timeout
+        self.transport = transport
+        self.fetched = 0
+        self.fetched_bytes = 0
+        self.misses = 0
+        self._socks: dict[str, socket.socket] = {}
+        self._lock = threading.Lock()
+
+    def _drop(self, peer: str) -> None:
+        sock = self._socks.pop(peer, None)
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _request(self, peer: str, name: str) -> "tuple[bytes | None, int]":
+        """One fetch round-trip; returns (data | None, wire_bytes)."""
+        sock = self._socks.get(peer)
+        if sock is None:
+            sock = connect(peer, timeout=self.timeout)
+            client_handshake(sock, {"role": "fetch"})
+            self._socks[peer] = sock
+        wire = send_message(sock, ("fetch", name))
+        reply = recv_message(sock)
+        if reply is None:
+            raise ConnectionError(f"fetch peer {peer} closed the connection")
+        obj, buffers, nbytes = reply
+        wire += nbytes
+        if obj[0] == "blob" and buffers:
+            return buffers[0], wire
+        return None, wire  # ("fetch-err", reason): peer doesn't have it
+
+    def __call__(self, path: "Path | str") -> bool:
+        path = Path(path)
+        name = path.name
+        with self._lock:
+            for peer in list(self.peers):
+                try:
+                    data, wire = self._request(peer, name)
+                except (OSError, ConnectionError, ProtocolError, ValueError):
+                    self._drop(peer)
+                    continue
+                if self.transport is not None:
+                    self.transport.network_bytes += wire
+                    self.transport.round_trips += 2
+                if data is None:
+                    continue
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f".{name}.fetch-{os.getpid()}")
+                tmp.write_bytes(data)
+                os.replace(tmp, path)
+                self.fetched += 1
+                self.fetched_bytes += len(data)
+                return True
+            self.misses += 1
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            for peer in list(self._socks):
+                self._drop(peer)
+
+
+# ----------------------------------------------------------------------
+# Worker daemon (the `repro worker --listen <addr>` server)
+# ----------------------------------------------------------------------
+
+def _daemon_child_main(conn: Any, inherited_fds: "tuple[int, ...]") -> None:
+    """Task-child entry point: drop the daemon's inherited sockets
+    before running the pool worker loop.  A fork child that keeps the
+    listening fd would hold the port open after the daemon is killed —
+    connects would land in a backlog nobody accepts — and a kept
+    accepted-connection fd would stop the driver's socket from seeing
+    EOF when the daemon dies."""
+    for fd in inherited_fds:
+        with contextlib.suppress(OSError):
+            os.close(fd)
+    _pool_worker_main(conn)
+
+
+def _pump_child(conn: Any, proc: Any, loop: Any, queue: Any) -> None:
+    """Bridge thread: blocking-read the task child's pipe, hand each
+    reply to the daemon event loop.  On EOF the child is gone — report
+    its exit code so the driver can run death recovery."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            loop.call_soon_threadsafe(queue.put_nowait, msg)
+        except RuntimeError:  # event loop already closed
+            return
+    proc.join()
+    with contextlib.suppress(RuntimeError):
+        loop.call_soon_threadsafe(
+            queue.put_nowait, ("__died__", proc.exitcode)
+        )
+
+
+class _DriverSession:
+    """One driver connection's server-side state: a private task child
+    running :func:`_pool_worker_main` over a fork pipe, plus the arena
+    pair bridging socket frames to the pool wire protocol."""
+
+    def __init__(self, daemon: "WorkerDaemon", config: dict, loop) -> None:
+        self.daemon = daemon
+        self.loop = loop
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task_arena = _Arena()
+        self.reader = _ArenaReader()
+        self.proc: Any = None
+        self.conn: Any = None
+        self._mp_ctx = mp.get_context("fork")
+        # Install the remote-fetch resolver BEFORE any fork, so task
+        # children inherit it: a reduce task that misses a shuffle
+        # segment on local disk pulls it from a peer daemon directly.
+        peers = [str(p) for p in config.get("peers", ())]
+        self._fetcher: "BlockFetcher | None" = None
+        self._had_resolver = False
+        self._previous_resolver: Any = None
+        if peers:
+            from .storage.codecs import set_missing_file_resolver
+
+            self._fetcher = BlockFetcher(
+                peers, exclude=(daemon.bound_address or "",)
+            )
+            self._previous_resolver = set_missing_file_resolver(self._fetcher)
+            self._had_resolver = True
+
+    def _spawn_child(self) -> None:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        proc = self._mp_ctx.Process(
+            target=_daemon_child_main,
+            args=(child_conn, self.daemon.child_close_fds()),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.proc, self.conn = proc, parent_conn
+        self.daemon.children_forked += 1
+        threading.Thread(
+            target=_pump_child,
+            args=(parent_conn, proc, self.loop, self.queue),
+            daemon=True,
+        ).start()
+
+    def dispatch(self, blob: bytes, buffers: Sequence[bytes]) -> None:
+        """Forward one ("run", blob)+buffers frame to the task child as
+        a pool-protocol batch: out-of-band socket buffers become task
+        arena descriptors the child maps by name."""
+        if self.proc is None or not self.proc.is_alive():
+            self._retire_child()
+            self._spawn_child()
+        self.task_arena.recycle()
+        descriptors = [
+            self.task_arena.write(memoryview(buf)) for buf in buffers
+        ]
+        try:
+            self.conn.send(("run", blob, descriptors))
+            self.daemon.batches_dispatched += 1
+        except (OSError, ValueError):
+            # Child died as we wrote; the pump thread reports the death
+            # and the driver requeues this batch.
+            pass
+
+    async def pump_replies(self, writer: asyncio.StreamWriter) -> None:
+        """Forward child replies to the driver socket.  Result arena
+        views are copied to bytes immediately — the child recycles its
+        arena on the next batch, the socket frame must outlive that."""
+        while True:
+            msg = await self.queue.get()
+            tag = msg[0]
+            if tag == "ok":
+                _tag, key, payload, descriptors, duration = msg
+                buffers = [
+                    bytes(self.reader.view(*descriptor))
+                    for descriptor in descriptors
+                ]
+                await a_send_message(
+                    writer, ("ok", key, payload, duration), buffers
+                )
+            elif tag == "err":
+                await a_send_message(writer, ("err", msg[1], msg[2], msg[3]))
+            elif tag == "__died__":
+                self._retire_child()
+                self.daemon.children_died += 1
+                await a_send_message(writer, ("died", msg[1]))
+
+    def _retire_child(self) -> None:
+        proc, conn = self.proc, self.conn
+        self.proc = self.conn = None
+        if proc is None:
+            return
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck child
+            proc.terminate()
+            proc.join(timeout=5.0)
+        result_segments = list(self.reader.segments)
+        self.reader.close()
+        _unlink_segment_names(result_segments)
+        self.reader = _ArenaReader()
+        if conn is not None:
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def close(self) -> None:
+        if self.conn is not None:
+            with contextlib.suppress(OSError, ValueError):
+                self.conn.send(("stop",))
+        self._retire_child()
+        self.task_arena.destroy()
+        if self._fetcher is not None:
+            self._fetcher.close()
+        if self._had_resolver:
+            from .storage.codecs import set_missing_file_resolver
+
+            set_missing_file_resolver(self._previous_resolver)
+
+
+class WorkerDaemon:
+    """Asyncio server side of the cluster backend.
+
+    ``listen`` is a ``host:port`` (port 0 = ephemeral) or ``unix:/path``
+    spec; ``served_roots`` seeds the directories whose files the fetch
+    protocol may serve (driver handshakes add their session spill roots
+    to the set).  One daemon serves any number of sequential or
+    concurrent driver sessions, each with its own task child.
+    """
+
+    def __init__(
+        self, listen: str = "127.0.0.1:0", *, served_roots: Sequence = ()
+    ) -> None:
+        parse_address(listen)  # fail fast
+        self.listen_spec = listen
+        self.served_roots: set[str] = {str(Path(r)) for r in served_roots}
+        self.bound_address: "str | None" = None
+        self.children_forked = 0
+        self.children_died = 0
+        self.batches_dispatched = 0
+        self.blocks_served = 0
+        self.sessions_served = 0
+        self._server: Any = None
+        self._stop: "asyncio.Event | None" = None
+        self._client_fds: set[int] = set()
+
+    def child_close_fds(self) -> "tuple[int, ...]":
+        """Daemon-owned socket fds a forked task child must close: the
+        listening sockets plus every live accepted connection."""
+        fds = set(self._client_fds)
+        if self._server is not None:
+            for sock in self._server.sockets:
+                fds.add(sock.fileno())
+        return tuple(fd for fd in fds if fd >= 0)
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> str:
+        addr = parse_address(self.listen_spec)
+        self._stop = asyncio.Event()
+        if addr[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=addr[1]
+            )
+            self.bound_address = f"unix:{addr[1]}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, addr[1], addr[2]
+            )
+            host, port = self._server.sockets[0].getsockname()[:2]
+            self.bound_address = f"{host}:{port}"
+        return self.bound_address
+
+    def request_stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    async def _main(self, announce: "Callable[[str], None] | None") -> None:
+        await self.start()
+        if announce is not None:
+            announce(self.bound_address)
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            addr = parse_address(self.listen_spec)
+            if addr[0] == "unix":
+                with contextlib.suppress(OSError):
+                    os.unlink(addr[1])
+
+    def run(self, *, announce: "Callable[[str], None] | None" = None) -> None:
+        """Blocking entry point (the ``repro worker`` subcommand)."""
+        asyncio.run(self._main(announce))
+
+    # -- connection handling -------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn_sock = writer.get_extra_info("socket")
+        conn_fd = conn_sock.fileno() if conn_sock is not None else -1
+        if conn_fd >= 0:
+            self._client_fds.add(conn_fd)
+        try:
+            frame = await a_recv_message(reader)
+            if frame is None:
+                return
+            obj, _buffers, _nbytes = frame
+            if not (
+                isinstance(obj, tuple) and len(obj) >= 3 and obj[0] == "hello"
+            ):
+                await a_send_message(
+                    writer, ("hello-err", f"expected hello, got {obj!r}")
+                )
+                return
+            version, config = obj[1], obj[2]
+            if version != PROTOCOL_VERSION:
+                await a_send_message(
+                    writer,
+                    (
+                        "hello-err",
+                        f"protocol version mismatch: peer speaks {version}, "
+                        f"worker speaks {PROTOCOL_VERSION}",
+                    ),
+                )
+                return
+            for root in config.get("spill_roots", ()):
+                self.served_roots.add(str(root))
+            await a_send_message(
+                writer,
+                (
+                    "hello-ok",
+                    PROTOCOL_VERSION,
+                    {"pid": os.getpid(), "roots": len(self.served_roots)},
+                ),
+            )
+            if config.get("role") == "fetch":
+                await self._serve_fetch(reader, writer)
+            else:
+                self.sessions_served += 1
+                await self._serve_driver(reader, writer, config)
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+        finally:
+            self._client_fds.discard(conn_fd)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_fetch(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await a_recv_message(reader)
+            if frame is None:
+                return
+            obj, _buffers, _nbytes = frame
+            if obj[0] != "fetch":
+                await a_send_message(
+                    writer, ("fetch-err", f"unexpected message {obj[0]!r}")
+                )
+                continue
+            name = obj[1]
+            roots = tuple(self.served_roots)
+            path = await asyncio.to_thread(_locate_block, roots, name)
+            if path is None:
+                await a_send_message(
+                    writer,
+                    (
+                        "fetch-err",
+                        f"block {name!r} not found under "
+                        f"{len(roots)} served root(s)",
+                    ),
+                )
+                continue
+            data = await asyncio.to_thread(path.read_bytes)
+            self.blocks_served += 1
+            await a_send_message(writer, ("blob", name), [data])
+
+    async def _serve_driver(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        config: dict,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        session = _DriverSession(self, config, loop)
+        pump = asyncio.ensure_future(session.pump_replies(writer))
+        try:
+            while True:
+                frame = await a_recv_message(reader)
+                if frame is None:
+                    break
+                obj, buffers, _nbytes = frame
+                tag = obj[0]
+                if tag == "ping":
+                    await a_send_message(writer, ("pong", obj[1]))
+                elif tag == "run":
+                    session.dispatch(obj[1], buffers)
+                elif tag == "stop":
+                    break
+                elif tag == "shutdown":
+                    self.request_stop()
+                    break
+        finally:
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+            session.close()
+
+
+# ----------------------------------------------------------------------
+# Daemon process helpers (tests, CI, benchmarks)
+# ----------------------------------------------------------------------
+
+def launch_worker(
+    listen: str = "127.0.0.1:0",
+    *,
+    roots: Sequence = (),
+    env: "dict[str, str] | None" = None,
+    timeout: float = 30.0,
+) -> "tuple[subprocess.Popen, str]":
+    """Spawn a ``repro worker`` daemon subprocess; returns
+    ``(process, bound_address)`` once the daemon announces it is
+    listening (ephemeral port 0 resolves to the real port)."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    full_env = dict(os.environ if env is None else env)
+    full_env["PYTHONPATH"] = (
+        src_dir + os.pathsep + full_env["PYTHONPATH"]
+        if full_env.get("PYTHONPATH")
+        else src_dir
+    )
+    cmd = [sys.executable, "-m", "repro.cli", "worker", "--listen", listen]
+    for root in roots:
+        cmd += ["--root", str(root)]
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=full_env,
+    )
+    line: list[str] = []
+
+    def _read() -> None:
+        line.append(proc.stdout.readline())
+
+    reader = threading.Thread(target=_read, daemon=True)
+    reader.start()
+    reader.join(timeout)
+    banner = line[0] if line else ""
+    if not banner.startswith("listening on "):
+        proc.kill()
+        proc.wait(timeout=5.0)
+        reader.join(timeout=1.0)  # readline sees EOF once proc is dead
+        with contextlib.suppress(OSError):
+            proc.stdout.close()
+        raise RuntimeError(
+            f"worker daemon failed to start (said {banner!r})"
+        )
+    # The daemon prints nothing after the banner; close our end of the
+    # pipe now or the Popen leaks an fd (ResourceWarning under -X dev).
+    proc.stdout.close()
+    return proc, banner[len("listening on "):].strip()
+
+
+def shutdown_worker(spec: str, timeout: float = 5.0) -> bool:
+    """Ask a daemon to exit cleanly; False if it was unreachable."""
+    try:
+        sock = connect(spec, timeout=timeout)
+    except (OSError, ValueError):
+        return False
+    try:
+        client_handshake(sock, {"role": "driver", "peers": []})
+        send_message(sock, ("shutdown",))
+        return True
+    except (OSError, ConnectionError, ProtocolError):
+        return False
+    finally:
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+class _Link:
+    """Driver-side record of one connected worker daemon."""
+
+    __slots__ = (
+        "spec", "sock", "assigned", "batch_started", "last_heard",
+        "last_ping",
+    )
+
+    def __init__(self, spec: str, sock: socket.socket) -> None:
+        self.spec = spec
+        self.sock = sock
+        self.assigned: deque = deque()  # of (key, is_backup), dispatch order
+        self.batch_started = 0.0
+        now = time.monotonic()
+        self.last_heard = now
+        self.last_ping = now
+
+
+class ClusterExecutor(Executor):
+    """Socket driver for remote worker daemons — the pool backend's
+    scheduling contract over TCP/unix sockets.
+
+    Batches ship only to idle links; each daemon's task child reports
+    strictly in dispatch order, so a link loss blames exactly the first
+    unreported task (:class:`WorkerDied`) and requeues the rest — the
+    same recovery surface the pool exposes, which is what lets
+    :func:`run_with_recovery` and deterministic fault injection work
+    unchanged.  Two loss detectors: socket EOF/reset, and a heartbeat
+    (ping every ``heartbeat_interval`` seconds to each busy link, dead
+    after ``heartbeat_timeout`` seconds of silence).  A daemon whose
+    *task child* died (e.g. an injected ``os._exit`` kill) reports
+    ``("died", exitcode)`` and stays in the ring; only daemon loss
+    removes the link.  Lost links are retried at the next batch, so a
+    restarted daemon rejoins transparently.
+
+    Unlike the local backends, ``workers`` is not a count — it is the
+    address list (``ClusterContext(workers=[...])`` / ``REPRO_WORKERS``).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        workers: "Sequence[str] | str | None" = None,
+        *,
+        task_batch: "int | None" = None,
+        heartbeat_interval: "float | None" = None,
+        heartbeat_timeout: "float | None" = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if _cloudpickle is None:
+            raise ValueError(
+                "the 'cluster' backend needs cloudpickle for task "
+                "transport; use 'processes' instead"
+            )
+        self.addresses = resolve_cluster_workers(workers)
+        super().__init__(len(self.addresses))
+        self.task_batch = resolve_task_batch(task_batch)
+        self.heartbeat_interval = resolve_heartbeat_interval(
+            heartbeat_interval
+        )
+        self.heartbeat_timeout = resolve_heartbeat_timeout(heartbeat_timeout)
+        self.connect_timeout = connect_timeout
+        self._links: list[_Link] = []
+        self._lost: list[str] = []
+        self._spill_roots: set[str] = set()
+        self._fetcher: "BlockFetcher | None" = None
+        self._previous_resolver: Any = None
+        self.batches_sent = 0
+        self.workers_lost = 0
+        self.workers_rejoined = 0
+        self.children_died = 0
+
+    # -- link management ----------------------------------------------
+    def register_spill_root(self, path) -> None:
+        """Advertise a spill/shuffle directory to every daemon (called
+        by the context once storage exists; daemons serve these files
+        to peers through the fetch protocol)."""
+        self._spill_roots.add(str(path))
+
+    def _handshake_config(self) -> dict:
+        return {
+            "role": "driver",
+            "peers": list(self.addresses),
+            "spill_roots": sorted(self._spill_roots),
+        }
+
+    def _connect_link(self, spec: str) -> _Link:
+        sock = connect(spec, timeout=self.connect_timeout)
+        try:
+            client_handshake(sock, self._handshake_config())
+        except BaseException:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise
+        return _Link(spec, sock)
+
+    def _ensure_links(self) -> None:
+        initial = not self._links and not self._lost
+        specs = list(self.addresses) if initial else list(self._lost)
+        for spec in specs:
+            try:
+                link = self._connect_link(spec)
+            except (OSError, ConnectionError, ProtocolError) as exc:
+                if initial:
+                    raise RuntimeError(
+                        f"cannot reach cluster worker {spec!r} (from "
+                        f"{CLUSTER_WORKERS_ENV_VAR} / workers=[...]): {exc}"
+                    ) from exc
+                continue  # still down; retried on the next batch
+            self._links.append(link)
+            if not initial:
+                self._lost.remove(spec)
+                self.workers_rejoined += 1
+        if not self._links:
+            raise RuntimeError(
+                "no cluster workers reachable: "
+                + ", ".join(repr(s) for s in self.addresses)
+            )
+        if self._fetcher is None:
+            from .storage.codecs import set_missing_file_resolver
+
+            self._fetcher = BlockFetcher(
+                self.addresses, transport=self.transport
+            )
+            self._previous_resolver = set_missing_file_resolver(self._fetcher)
+
+    # -- scheduling (mirrors PoolExecutor) -----------------------------
+    def run_outcomes(
+        self,
+        tasks: Sequence[Task],
+        *,
+        speculation: "SpeculationPolicy | None" = None,
+        speculative_tasks: "Sequence[Task] | None" = None,
+        on_speculate: "Callable[[int], None] | None" = None,
+    ) -> list[TaskOutcome]:
+        if not tasks:
+            return []
+        if len(tasks) <= 1:
+            # In-driver fallback: injected kills degrade to
+            # SimulatedWorkerDeath (see FaultPlan.wrap), same as pool.
+            return self._run_inline(tasks)
+        return self._run_cluster(
+            tasks, speculation, speculative_tasks or tasks, on_speculate
+        )
+
+    def _send_batch(
+        self, link: _Link, entries: "list[tuple[int, Task, bool]]"
+    ) -> bool:
+        """Ship one batch over a link; False if the link is gone (the
+        caller requeues the entries and drops the link)."""
+        serialize_started = time.perf_counter()
+        payload = [(key, fn) for key, fn, _ in entries]
+        buffers: list = []
+
+        # Same out-of-band policy as the pool arena (PEP 574): truthy
+        # keeps a buffer in-band, falsy hands it to us for the socket.
+        def _callback(buffer: pickle.PickleBuffer) -> bool:
+            try:
+                raw = buffer.raw()
+            except Exception:  # noqa: BLE001 - non-contiguous: in-band
+                return True
+            if raw.nbytes < _ARENA_MIN_BYTES:
+                return True
+            buffers.append(raw)
+            return False
+
+        blob = _cloudpickle.dumps(
+            payload, protocol=5, buffer_callback=_callback
+        )
+        send_started = time.perf_counter()
+        try:
+            wire = send_message(link.sock, ("run", blob), buffers)
+        except (OSError, ValueError):
+            return False
+        now = time.perf_counter()
+        self.transport.serialize_seconds += send_started - serialize_started
+        self.transport.submit_seconds += now - send_started
+        self.transport.payload_bytes += len(blob) + sum(
+            buf.nbytes for buf in buffers
+        )
+        self.transport.network_bytes += wire
+        self.transport.round_trips += 1
+        for key, _fn, is_backup in entries:
+            link.assigned.append((key, is_backup))
+        link.batch_started = time.monotonic()
+        self.batches_sent += 1
+        return True
+
+    def _copies_in_flight(self, key: int) -> bool:
+        return any(
+            assigned_key == key
+            for link in self._links
+            for assigned_key, _backup in link.assigned
+        )
+
+    def _run_cluster(
+        self,
+        tasks: Sequence[Task],
+        policy: "SpeculationPolicy | None",
+        duplicates: Sequence[Task],
+        on_speculate: "Callable[[int], None] | None",
+    ) -> list[TaskOutcome]:
+        self._ensure_links()
+        n = len(tasks)
+        outcomes: "list[TaskOutcome | None]" = [None] * n
+        held_errors: dict[int, BaseException] = {}
+        durations: list[float] = []
+        speculated: set[int] = set()
+        pending: deque = deque(range(n))
+        while any(o is None for o in outcomes):
+            live = max(1, len(self._links))
+            limit = self.task_batch or max(1, -(-n // (2 * live)))
+            for link in list(self._links):
+                if link.assigned or not pending:
+                    continue
+                entries = []
+                while pending and len(entries) < limit:
+                    i = pending.popleft()
+                    if outcomes[i] is None:
+                        entries.append((i, tasks[i], False))
+                if not entries:
+                    continue
+                if not self._send_batch(link, entries):
+                    pending.extendleft(
+                        key for key, _fn, _b in reversed(entries)
+                    )
+                    self._fail_link(
+                        link, "send failed", outcomes, held_errors, pending
+                    )
+            busy = [link for link in self._links if link.assigned]
+            if not busy:
+                if self._links:
+                    continue  # conclusions above freed work; loop re-feeds
+                # Every daemon is gone mid-batch.  Mark what is left
+                # unresolved as WorkerDied instead of raising: the
+                # recovery layer backs off and retries, and the next
+                # round's _ensure_links re-dials lost daemons (raising
+                # only if none ever come back).
+                for i in range(n):
+                    if outcomes[i] is None:
+                        outcomes[i] = TaskOutcome(
+                            error=held_errors.get(i)
+                            or WorkerDied(
+                                f"all {len(self.addresses)} cluster "
+                                "workers lost before task "
+                                f"{i} completed"
+                            )
+                        )
+                break
+            poll = (
+                policy.poll_interval_seconds
+                if policy is not None
+                else self.heartbeat_interval
+            )
+            timeout = min(poll, self.heartbeat_interval)
+            wait_started = time.perf_counter()
+            try:
+                ready, _, _ = select.select(
+                    [link.sock for link in busy], [], [], timeout
+                )
+            except OSError:
+                ready = []
+            self.transport.ipc_wait_seconds += (
+                time.perf_counter() - wait_started
+            )
+            by_sock = {link.sock: link for link in busy}
+            for sock in ready:
+                link = by_sock.get(sock)
+                if link is not None and link in self._links:
+                    self._drain_link(
+                        link, outcomes, held_errors, durations, pending
+                    )
+            self._heartbeat_sweep(outcomes, held_errors, pending)
+            if policy is not None:
+                self._maybe_speculate(
+                    policy,
+                    duplicates,
+                    outcomes,
+                    durations,
+                    speculated,
+                    on_speculate,
+                    n,
+                )
+        return outcomes  # type: ignore[return-value]
+
+    def _drain_link(
+        self,
+        link: _Link,
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        durations: list[float],
+        pending: deque,
+    ) -> None:
+        """Absorb everything a readable link has to say; EOF or a reset
+        mid-read means the daemon is gone."""
+        while link in self._links:
+            try:
+                readable, _, _ = select.select([link.sock], [], [], 0)
+            except OSError:
+                readable = [link.sock]
+            if not readable:
+                return
+            try:
+                frame = recv_message(link.sock)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                self._fail_link(
+                    link, f"connection lost: {exc}",
+                    outcomes, held_errors, pending,
+                )
+                return
+            if frame is None:
+                self._fail_link(
+                    link, "connection closed",
+                    outcomes, held_errors, pending,
+                )
+                return
+            obj, buffers, nbytes = frame
+            link.last_heard = time.monotonic()
+            self.transport.network_bytes += nbytes
+            self.transport.round_trips += 1
+            tag = obj[0]
+            if tag == "pong":
+                continue
+            if tag == "died":
+                self._absorb_death(
+                    link, obj[1], outcomes, held_errors, pending
+                )
+                continue
+            self._absorb(
+                link, obj, buffers, outcomes, held_errors, durations
+            )
+
+    def _absorb(
+        self,
+        link: _Link,
+        obj: tuple,
+        buffers: "list[bytes]",
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        durations: list[float],
+    ) -> None:
+        # Task children process and report strictly in dispatch order.
+        if link.assigned:
+            link.assigned.popleft()
+        link.batch_started = time.monotonic()
+        key = obj[1]
+        if obj[0] == "ok":
+            _tag, _key, payload, duration = obj
+            if outcomes[key] is None:
+                unpack_started = time.perf_counter()
+                value = _own_tree(pickle.loads(payload, buffers=buffers))
+                self.transport.serialize_seconds += (
+                    time.perf_counter() - unpack_started
+                )
+                outcomes[key] = TaskOutcome(value=value)
+                durations.append(duration)
+                self.transport.compute_seconds += duration
+                self.transport.payload_bytes += len(payload) + sum(
+                    len(buf) for buf in buffers
+                )
+            # A losing speculative copy needs no drain.
+            return
+        # ("err", key, exception, duration)
+        held_errors[key] = obj[2]
+        if outcomes[key] is None and not self._copies_in_flight(key):
+            outcomes[key] = TaskOutcome(error=held_errors[key])
+
+    def _blame_and_requeue(
+        self,
+        link: _Link,
+        error_for: "Callable[[int], BaseException]",
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        pending: deque,
+    ) -> None:
+        """Shared death bookkeeping: the first unreported assigned task
+        was in progress and takes the blame; the rest never started and
+        are requeued (same wrapped callables — fault verdicts are per
+        (batch, index, attempt), not per dispatch)."""
+        if not link.assigned:
+            return
+        blamed_key, _blamed_backup = link.assigned.popleft()
+        held_errors.setdefault(blamed_key, error_for(blamed_key))
+        unstarted = list(link.assigned)
+        link.assigned.clear()
+        for key, is_backup in unstarted:
+            if outcomes[key] is not None:
+                continue
+            if not is_backup:
+                pending.append(key)
+            elif not self._copies_in_flight(key) and key in held_errors:
+                outcomes[key] = TaskOutcome(error=held_errors[key])
+        if outcomes[blamed_key] is None and not self._copies_in_flight(
+            blamed_key
+        ):
+            outcomes[blamed_key] = TaskOutcome(error=held_errors[blamed_key])
+
+    def _absorb_death(
+        self,
+        link: _Link,
+        exitcode: "int | None",
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        pending: deque,
+    ) -> None:
+        """The daemon's task child died (e.g. an injected kill); the
+        daemon itself is fine and stays in the ring."""
+        self.children_died += 1
+        self._blame_and_requeue(
+            link,
+            lambda key: WorkerDied(
+                f"cluster worker {link.spec} task child exited with code "
+                f"{exitcode} before reporting a result for task {key}"
+            ),
+            outcomes,
+            held_errors,
+            pending,
+        )
+
+    def _fail_link(
+        self,
+        link: _Link,
+        reason: str,
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        pending: deque,
+    ) -> None:
+        """The daemon itself is gone: blame/requeue its work, drop the
+        link, and remember the address for rejoin attempts."""
+        self._blame_and_requeue(
+            link,
+            lambda key: WorkerDied(
+                f"cluster worker {link.spec} lost ({reason}) before "
+                f"reporting a result for task {key}"
+            ),
+            outcomes,
+            held_errors,
+            pending,
+        )
+        if link in self._links:
+            self._links.remove(link)
+        with contextlib.suppress(OSError):
+            link.sock.close()
+        if link.spec not in self._lost:
+            self._lost.append(link.spec)
+        self.workers_lost += 1
+
+    def _heartbeat_sweep(
+        self,
+        outcomes: "list[TaskOutcome | None]",
+        held_errors: dict,
+        pending: deque,
+    ) -> None:
+        now = time.monotonic()
+        for link in list(self._links):
+            if not link.assigned:
+                continue  # idle links aren't pinged, so never time out
+            silence = now - link.last_heard
+            if silence > self.heartbeat_timeout:
+                self._fail_link(
+                    link,
+                    f"heartbeat timeout: no reply for {silence:.2f}s "
+                    f"(limit {self.heartbeat_timeout}s)",
+                    outcomes,
+                    held_errors,
+                    pending,
+                )
+                continue
+            if now - link.last_ping >= self.heartbeat_interval:
+                try:
+                    wire = send_message(link.sock, ("ping", now))
+                except (OSError, ValueError):
+                    self._fail_link(
+                        link, "ping failed", outcomes, held_errors, pending
+                    )
+                    continue
+                link.last_ping = now
+                self.transport.network_bytes += wire
+                self.transport.round_trips += 1
+
+    def _maybe_speculate(
+        self,
+        policy: SpeculationPolicy,
+        duplicates: Sequence[Task],
+        outcomes: "list[TaskOutcome | None]",
+        durations: list[float],
+        speculated: set[int],
+        on_speculate: "Callable[[int], None] | None",
+        n: int,
+    ) -> None:
+        threshold = policy.threshold(durations, n)
+        if threshold is None:
+            return
+        idle = [link for link in self._links if not link.assigned]
+        if not idle:
+            return
+        now = time.monotonic()
+        for link in list(self._links):
+            if not link.assigned or not idle:
+                continue
+            key, is_backup = link.assigned[0]
+            if (
+                is_backup
+                or key in speculated
+                or outcomes[key] is not None
+                or now - link.batch_started <= threshold
+            ):
+                continue
+            target = idle.pop()
+            if self._send_batch(target, [(key, duplicates[key], True)]):
+                speculated.add(key)
+                if on_speculate is not None:
+                    on_speculate(key)
+
+    def close(self) -> None:
+        for link in self._links:
+            with contextlib.suppress(OSError, ValueError):
+                send_message(link.sock, ("stop",))
+            with contextlib.suppress(OSError):
+                link.sock.close()
+        self._links.clear()
+        if self._fetcher is not None:
+            from .storage.codecs import set_missing_file_resolver
+
+            set_missing_file_resolver(self._previous_resolver)
+            self._fetcher.close()
+            self._fetcher = None
+        super().close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClusterExecutor(addresses={self.addresses!r})"

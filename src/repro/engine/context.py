@@ -80,6 +80,7 @@ class ClusterContext:
         max_real_partitions: int = 32,
         executor: str | Executor | None = None,
         local_workers: int | None = None,
+        workers: "Sequence[str] | str | None" = None,
         task_batch: int | None = None,
         fusion: bool | None = None,
         target_partition_bytes: int | str | None = None,
@@ -121,11 +122,18 @@ class ClusterContext:
             target_partition_bytes
         )
         self.metrics = SimulationMetrics(n_nodes=n_nodes)
+        # ``workers`` is the cluster backend's daemon address list
+        # (falls back to REPRO_WORKERS); ``local_workers`` sizes the
+        # in-host backends.  Both can be passed — only the selected
+        # backend reads its one.
         if isinstance(executor, Executor):
             self.executor = executor
         else:
             self.executor = make_executor(
-                executor, local_workers, task_batch=task_batch
+                executor,
+                local_workers,
+                task_batch=task_batch,
+                cluster_workers=workers,
             )
         # Fault tolerance: explicit arguments > REPRO_FAULTS /
         # REPRO_MAX_TASK_RETRIES / REPRO_SPECULATION env vars > defaults
@@ -169,6 +177,14 @@ class ClusterContext:
         self.metrics.attach_transport(
             getattr(self.executor, "transport", None)
         )
+        # The cluster backend advertises the session spill root to its
+        # worker daemons so spill blocks and shuffle segments written
+        # under it are fetchable worker-to-worker by file name.
+        register_spill_root = getattr(
+            self.executor, "register_spill_root", None
+        )
+        if register_spill_root is not None:
+            register_spill_root(self.storage.ensure_spill_root())
 
     def _next_rdd_id(self) -> int:
         return next(self._rdd_ids)

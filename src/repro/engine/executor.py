@@ -45,6 +45,11 @@ Four backends are provided:
     and therefore bypass the arena entirely — budgeted runs ship file
     paths, not data.
 
+A fifth backend, ``cluster``, promotes this pool protocol to sockets
+against standalone ``repro worker`` daemons (possibly on other hosts);
+it lives in :mod:`repro.engine.cluster` and is registered lazily here
+so the two modules can share the worker loop without an import cycle.
+
 Every RNG stream in the engine is keyed by ``(seed, partition_index)``
 and results are gathered in partition order, so all three backends
 produce bit-identical datasets for identical seeds (tested).
@@ -125,6 +130,7 @@ __all__ = [
     "EXECUTOR_ENV_VAR",
     "WORKERS_ENV_VAR",
     "TASK_BATCH_ENV_VAR",
+    "CLUSTER_BACKEND_NAME",
 ]
 
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
@@ -226,6 +232,14 @@ class TransportProfile:
     ``payload_bytes``
         Bytes that crossed a process boundary (pickle blobs plus
         out-of-band arena buffers), both directions.
+    ``network_bytes``
+        Bytes that crossed a *socket* (frame headers included), both
+        directions — zero for every local backend, the wire total for
+        the cluster backend (task batches, results, heartbeats, remote
+        block fetches).
+    ``round_trips``
+        Framed socket messages exchanged (again cluster-only): batch
+        dispatches, result/err replies, ping/pong pairs, fetches.
     """
 
     submit_seconds: float = 0.0
@@ -233,6 +247,8 @@ class TransportProfile:
     ipc_wait_seconds: float = 0.0
     compute_seconds: float = 0.0
     payload_bytes: int = 0
+    network_bytes: int = 0
+    round_trips: int = 0
 
     def reset(self) -> None:
         self.submit_seconds = 0.0
@@ -240,6 +256,8 @@ class TransportProfile:
         self.ipc_wait_seconds = 0.0
         self.compute_seconds = 0.0
         self.payload_bytes = 0
+        self.network_bytes = 0
+        self.round_trips = 0
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -248,6 +266,8 @@ class TransportProfile:
             "ipc_wait_seconds": self.ipc_wait_seconds,
             "compute_seconds": self.compute_seconds,
             "payload_bytes": self.payload_bytes,
+            "network_bytes": self.network_bytes,
+            "round_trips": self.round_trips,
         }
 
 
@@ -1606,9 +1626,14 @@ _BACKENDS: dict[str, type[Executor]] = {
     PoolExecutor.name: PoolExecutor,
 }
 
+# The multi-host backend lives in repro.engine.cluster (which imports
+# this module for the worker loop and arena transport), so it is named
+# here and instantiated lazily rather than registered in _BACKENDS.
+CLUSTER_BACKEND_NAME = "cluster"
+
 
 def available_backends() -> tuple[str, ...]:
-    return tuple(_BACKENDS)
+    return (*_BACKENDS, CLUSTER_BACKEND_NAME)
 
 
 def resolve_backend(name: str | None = None) -> str:
@@ -1616,10 +1641,10 @@ def resolve_backend(name: str | None = None) -> str:
     if name is None:
         name = os.environ.get(EXECUTOR_ENV_VAR) or SerialExecutor.name
     name = name.strip().lower()
-    if name not in _BACKENDS:
+    if name not in _BACKENDS and name != CLUSTER_BACKEND_NAME:
         raise ValueError(
             f"unknown executor backend {name!r}; "
-            f"choose from {', '.join(_BACKENDS)}"
+            f"choose from {', '.join(available_backends())}"
         )
     return name
 
@@ -1667,11 +1692,20 @@ def make_executor(
     workers: int | None = None,
     *,
     task_batch: int | None = None,
+    cluster_workers: "Sequence[str] | str | None" = None,
 ) -> Executor:
     """Instantiate a backend; ``None`` arguments fall back to the
     ``REPRO_EXECUTOR`` / ``REPRO_LOCAL_WORKERS`` / ``REPRO_TASK_BATCH``
-    environment variables, then to ``serial`` with one worker per CPU."""
+    environment variables, then to ``serial`` with one worker per CPU.
+    ``cluster_workers`` (addresses, or ``REPRO_WORKERS``) selects the
+    daemons of the ``cluster`` backend and is ignored by local ones."""
     backend = resolve_backend(name)
+    if backend == CLUSTER_BACKEND_NAME:
+        from .cluster import ClusterExecutor
+
+        return ClusterExecutor(
+            cluster_workers, task_batch=resolve_task_batch(task_batch)
+        )
     if backend == PoolExecutor.name:
         return PoolExecutor(
             _resolve_workers(workers),

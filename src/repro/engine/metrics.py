@@ -162,6 +162,8 @@ class SimulationMetrics:
                 "ipc_wait_seconds": 0.0,
                 "compute_seconds": 0.0,
                 "payload_bytes": 0,
+                "network_bytes": 0,
+                "round_trips": 0,
             }
         return self.transport.as_dict()
 

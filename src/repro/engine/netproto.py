@@ -1,0 +1,329 @@
+"""Wire protocol for the cluster backend (DESIGN.md §12).
+
+The "cluster" executor promotes the pool backend's pipe protocol to
+sockets: the driver speaks to standalone ``repro worker`` daemons over
+TCP or unix-domain sockets, and this module defines the only thing both
+sides must agree on — the framing, the handshake, and the heartbeat
+knobs.  The *content* of the frames is exactly the pool protocol
+(``("run", blob, descriptors)`` batches, in-order ``("ok"/"err", key,
+...)`` replies); sockets merely length-prefix it.
+
+Frame layout (one frame per message, all integers big-endian)::
+
+    u32 n_buffers | u64 meta_len | meta | (u64 buf_len | buf) * n_buffers
+
+``meta`` is a stdlib-pickle blob of a small control tuple (the task
+payload inside a ``"run"`` meta is itself a cloudpickle blob produced by
+the driver, so the daemon never needs to unpickle closures).  The
+out-of-band ``buf`` sections carry pickle protocol-5 buffers — the same
+large array buffers the pool backend parks in shared-memory arenas ride
+the socket in frame order instead.
+
+Handshake: the connecting side sends ``("hello", PROTOCOL_VERSION,
+config)``; the daemon answers ``("hello-ok", PROTOCOL_VERSION, info)``
+or ``("hello-err", reason)`` and closes.  ``config`` is a plain dict;
+the driver uses it to announce its role, its peer list (for the
+worker-to-worker block-fetch tier) and its spill roots (which the
+daemon then agrees to serve).
+
+Heartbeats: the driver pings every busy worker every
+``heartbeat_interval`` seconds and declares a worker dead after
+``heartbeat_timeout`` seconds of silence (``REPRO_HEARTBEAT_SECONDS`` /
+``REPRO_HEARTBEAT_TIMEOUT``).  The daemon answers pings from its event
+loop even while its task child computes, so a long task never trips the
+timeout — only a hung or dead peer does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import socket
+import struct
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEARTBEAT_INTERVAL_ENV_VAR",
+    "HEARTBEAT_TIMEOUT_ENV_VAR",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "ProtocolError",
+    "parse_address",
+    "format_address",
+    "connect",
+    "send_message",
+    "recv_message",
+    "a_send_message",
+    "a_recv_message",
+    "client_handshake",
+    "resolve_heartbeat_interval",
+    "resolve_heartbeat_timeout",
+]
+
+PROTOCOL_VERSION = 1
+
+HEARTBEAT_INTERVAL_ENV_VAR = "REPRO_HEARTBEAT_SECONDS"
+HEARTBEAT_TIMEOUT_ENV_VAR = "REPRO_HEARTBEAT_TIMEOUT"
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+_HEADER = struct.Struct(">IQ")
+_BUF_HEADER = struct.Struct(">Q")
+
+# Sanity bound on any single length field: a corrupt or hostile peer
+# must not make the receiver allocate petabytes.
+MAX_FRAME_BYTES = 1 << 40
+
+
+class ProtocolError(RuntimeError):
+    """Handshake or framing violation on a cluster connection."""
+
+
+# ----------------------------------------------------------------------
+# Addresses
+# ----------------------------------------------------------------------
+
+def parse_address(spec: str) -> tuple:
+    """Parse a worker address: ``host:port`` (TCP) or ``unix:/path``.
+
+    Returns ``("tcp", host, port)`` or ``("unix", path)``.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty worker address")
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ValueError(f"unix worker address needs a path: {spec!r}")
+        return ("unix", path)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address {spec!r} is not 'host:port' or 'unix:/path'"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(
+            f"worker address {spec!r} has a non-integer port"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ValueError(f"worker address {spec!r} port out of range")
+    return ("tcp", host, port)
+
+
+def format_address(addr: tuple) -> str:
+    if addr[0] == "unix":
+        return f"unix:{addr[1]}"
+    return f"{addr[1]}:{addr[2]}"
+
+
+def connect(spec: str, timeout: float | None = 10.0) -> socket.socket:
+    """Open a blocking socket to a worker address spec.
+
+    The timeout stays armed on the returned socket so the follow-up
+    :func:`client_handshake` cannot block forever against a peer whose
+    port accepts but never answers (e.g. a SIGKILLed daemon whose
+    orphaned child still holds the listening fd).  A successful
+    handshake disarms it."""
+    addr = parse_address(spec)
+    if addr[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(addr[1])
+    else:
+        sock = socket.create_connection((addr[1], addr[2]), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+    return sock
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket framing (driver / fetch-client side)
+# ----------------------------------------------------------------------
+
+def _frame_parts(obj: Any, buffers: Sequence) -> tuple[list, int]:
+    meta = pickle.dumps(obj, protocol=5)
+    parts: list = [_HEADER.pack(len(buffers), len(meta)), meta]
+    total = _HEADER.size + len(meta)
+    for buf in buffers:
+        view = memoryview(buf)
+        if view.ndim != 1 or view.format != "B":
+            view = view.cast("B")
+        parts.append(_BUF_HEADER.pack(view.nbytes))
+        parts.append(view)
+        total += _BUF_HEADER.size + view.nbytes
+    return parts, total
+
+
+def send_message(sock: socket.socket, obj: Any, buffers: Sequence = ()) -> int:
+    """Send one framed message; returns the wire byte count."""
+    parts, total = _frame_parts(obj, buffers)
+    for part in parts:
+        sock.sendall(part)
+    return total
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a message
+    boundary, :class:`ConnectionError` on EOF mid-frame."""
+    data = bytearray(n)
+    view = memoryview(data)
+    got = 0
+    while got < n:
+        read = sock.recv_into(view[got:])
+        if read == 0:
+            if got == 0 and at_boundary:
+                return None
+            raise ConnectionError("peer closed the connection mid-frame")
+        got += read
+    return bytes(data)
+
+
+def recv_message(sock: socket.socket) -> "tuple[Any, list[bytes], int] | None":
+    """Receive one framed message.
+
+    Returns ``(obj, buffers, wire_bytes)`` or ``None`` on clean EOF.
+    """
+    head = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if head is None:
+        return None
+    n_buffers, meta_len = _HEADER.unpack(head)
+    if meta_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame ({meta_len} bytes)")
+    meta = _recv_exact(sock, meta_len, at_boundary=False)
+    total = _HEADER.size + meta_len
+    buffers: list[bytes] = []
+    for _ in range(n_buffers):
+        head = _recv_exact(sock, _BUF_HEADER.size, at_boundary=False)
+        (buf_len,) = _BUF_HEADER.unpack(head)
+        if buf_len > MAX_FRAME_BYTES:
+            raise ProtocolError(f"oversized buffer ({buf_len} bytes)")
+        buffers.append(_recv_exact(sock, buf_len, at_boundary=False))
+        total += _BUF_HEADER.size + buf_len
+    return pickle.loads(meta), buffers, total
+
+
+# ----------------------------------------------------------------------
+# Asyncio framing (daemon side)
+# ----------------------------------------------------------------------
+
+async def a_send_message(
+    writer: asyncio.StreamWriter, obj: Any, buffers: Sequence = ()
+) -> int:
+    """Asyncio twin of :func:`send_message`.
+
+    All ``write`` calls happen before the single ``drain`` await, so a
+    frame is appended to the transport buffer atomically — concurrent
+    senders on one writer (result pump vs. pong replies) can never
+    interleave mid-frame.
+    """
+    parts, total = _frame_parts(obj, buffers)
+    for part in parts:
+        writer.write(bytes(part) if isinstance(part, memoryview) else part)
+    await writer.drain()
+    return total
+
+
+async def _a_read_exact(
+    reader: asyncio.StreamReader, n: int, *, at_boundary: bool
+) -> bytes | None:
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and at_boundary:
+            return None
+        raise ConnectionError("peer closed the connection mid-frame") from exc
+
+
+async def a_recv_message(
+    reader: asyncio.StreamReader,
+) -> "tuple[Any, list[bytes], int] | None":
+    """Asyncio twin of :func:`recv_message`."""
+    head = await _a_read_exact(reader, _HEADER.size, at_boundary=True)
+    if head is None:
+        return None
+    n_buffers, meta_len = _HEADER.unpack(head)
+    if meta_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame ({meta_len} bytes)")
+    meta = await _a_read_exact(reader, meta_len, at_boundary=False)
+    total = _HEADER.size + meta_len
+    buffers: list[bytes] = []
+    for _ in range(n_buffers):
+        head = await _a_read_exact(reader, _BUF_HEADER.size, at_boundary=False)
+        (buf_len,) = _BUF_HEADER.unpack(head)
+        if buf_len > MAX_FRAME_BYTES:
+            raise ProtocolError(f"oversized buffer ({buf_len} bytes)")
+        buffers.append(await _a_read_exact(reader, buf_len, at_boundary=False))
+        total += _BUF_HEADER.size + buf_len
+    return pickle.loads(meta), buffers, total
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+def client_handshake(sock: socket.socket, config: dict) -> dict:
+    """Run the connecting side of the handshake; returns the worker's
+    info dict.  Raises :class:`ProtocolError` on rejection or version
+    mismatch (the daemon rejects before looking at the config)."""
+    send_message(sock, ("hello", PROTOCOL_VERSION, dict(config)))
+    reply = recv_message(sock)
+    if reply is None:
+        raise ProtocolError("worker closed the connection during handshake")
+    obj, _buffers, _nbytes = reply
+    if not isinstance(obj, tuple) or not obj:
+        raise ProtocolError(f"malformed handshake reply: {obj!r}")
+    if obj[0] == "hello-err":
+        raise ProtocolError(f"worker rejected handshake: {obj[1]}")
+    if obj[0] != "hello-ok" or len(obj) < 3:
+        raise ProtocolError(f"malformed handshake reply: {obj!r}")
+    if obj[1] != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: worker speaks {obj[1]}, "
+            f"driver speaks {PROTOCOL_VERSION}"
+        )
+    # Handshake done: disarm the connect timeout — from here on the
+    # socket is select()-driven (driver loop) or request/response with
+    # its own timeout discipline (fetch client).
+    sock.settimeout(None)
+    return obj[2]
+
+
+# ----------------------------------------------------------------------
+# Heartbeat knobs
+# ----------------------------------------------------------------------
+
+def _resolve_seconds(value, env_var: str, default: float) -> float:
+    if value is None:
+        env = os.environ.get(env_var)
+        if env is None or not env.strip():
+            return default
+        try:
+            value = float(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{env_var} must be a number of seconds, got {env!r}"
+            ) from exc
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{env_var} must be > 0, got {value!r}")
+    return value
+
+
+def resolve_heartbeat_interval(value: "float | None" = None) -> float:
+    """Seconds between pings to a busy worker: explicit argument >
+    ``REPRO_HEARTBEAT_SECONDS`` > 0.5."""
+    return _resolve_seconds(
+        value, HEARTBEAT_INTERVAL_ENV_VAR, DEFAULT_HEARTBEAT_INTERVAL
+    )
+
+
+def resolve_heartbeat_timeout(value: "float | None" = None) -> float:
+    """Seconds of silence before a busy worker is declared dead:
+    explicit argument > ``REPRO_HEARTBEAT_TIMEOUT`` > 15."""
+    return _resolve_seconds(
+        value, HEARTBEAT_TIMEOUT_ENV_VAR, DEFAULT_HEARTBEAT_TIMEOUT
+    )

@@ -42,6 +42,7 @@ from repro.engine.storage.codecs import (
     read_named_file,
     resolve_block_codec,
     resolve_codec_chunk_bytes,
+    set_missing_file_resolver,
 )
 
 __all__ = [
@@ -70,5 +71,6 @@ __all__ = [
     "resolve_codec_chunk_bytes",
     "resolve_memory_budget",
     "resolve_spill_dir",
+    "set_missing_file_resolver",
     "write_block_file",
 ]

@@ -49,7 +49,8 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -80,6 +81,7 @@ __all__ = [
     "read_block_file",
     "read_named_file",
     "iter_column_chunks",
+    "set_missing_file_resolver",
 ]
 
 
@@ -591,10 +593,39 @@ def get_codec(name: "str | None" = None) -> BlockCodec:
 # Reads: extension + footer dispatch, independent of the active codec
 # ---------------------------------------------------------------------------
 
+# Remote tier hook (the cluster backend's worker-to-worker block fetch):
+# when a reader asks for a block file that is not on local disk and a
+# resolver is installed, it gets one chance to materialise the file
+# (e.g. by fetching the bytes from a peer worker daemon) before the
+# read proceeds — and fails with the ordinary FileNotFoundError if the
+# resolver could not produce it.  Process-global on purpose: it is
+# installed once per driver/worker process by the cluster layer and
+# inherited by forked task children.
+_MISSING_FILE_RESOLVER: "Callable[[Path], bool] | None" = None
+
+
+def set_missing_file_resolver(
+    resolver: "Callable[[Path], bool] | None",
+) -> "Callable[[Path], bool] | None":
+    """Install (or clear, with ``None``) the missing-block resolver;
+    returns the previous one so callers can restore it."""
+
+    global _MISSING_FILE_RESOLVER
+    previous = _MISSING_FILE_RESOLVER
+    _MISSING_FILE_RESOLVER = resolver
+    return previous
+
+
+def _ensure_local(path: str) -> str:
+    if _MISSING_FILE_RESOLVER is not None and not os.path.exists(path):
+        _MISSING_FILE_RESOLVER(Path(path))
+    return path
+
 
 def read_named_file(path: str) -> "dict[str, np.ndarray]":
     """Load every array of a block file as a name -> array dict."""
 
+    path = _ensure_local(path)
     if path.endswith(".npz"):
         with np.load(path) as archive:
             return {name: archive[name] for name in archive.files}
@@ -615,6 +646,7 @@ def read_arrays(path: str, names: Sequence[str]) -> "list[np.ndarray]":
     every map segment without decoding the other destinations.
     """
 
+    path = _ensure_local(path)
     if path.endswith(".npz"):
         with np.load(path) as archive:
             return [archive[name] for name in names]
@@ -641,6 +673,7 @@ def array_dtypes(path: str) -> "dict[str, np.dtype]":
     (the raw codec is the non-streaming compatibility path).
     """
 
+    path = _ensure_local(path)
     if path.endswith(".npz"):
         with np.load(path) as archive:
             return {name: archive[name].dtype for name in archive.files}
@@ -655,6 +688,7 @@ def array_dtypes(path: str) -> "dict[str, np.dtype]":
 def iter_column_chunks(path: str, name: str) -> Iterator[np.ndarray]:
     """Stream one array chunk by chunk (whole array at once for .npz)."""
 
+    path = _ensure_local(path)
     if path.endswith(".npz"):
         with np.load(path) as archive:
             yield archive[name]

@@ -1,12 +1,70 @@
-"""Shared fixtures: expensive artifacts built once per session."""
+"""Shared fixtures: expensive artifacts built once per session, plus the
+loopback worker daemons that back the ``cluster`` executor in every
+backend-parametrized test."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.pipeline import build_seed
 from repro.trace.synthesizer import synthesize_seed_packets
+
+
+@pytest.fixture(scope="session")
+def cluster_daemons():
+    """Two loopback worker daemons on ephemeral ports; ``REPRO_WORKERS``
+    points at them for the rest of the session so
+    ``ClusterContext(executor="cluster")`` works without explicit
+    addresses.  Tests that kill daemons must launch their own."""
+    from repro.engine.cluster import (
+        launch_worker,
+        shutdown_worker,
+        sockets_available,
+    )
+
+    if not sockets_available():
+        pytest.skip("loopback sockets unavailable in this environment")
+    procs, addrs = [], []
+    try:
+        for _ in range(2):
+            proc, addr = launch_worker()
+            procs.append(proc)
+            addrs.append(addr)
+    except Exception as exc:  # pragma: no cover - environment-dependent
+        for proc in procs:
+            proc.kill()
+        pytest.skip(f"cannot launch cluster worker daemons: {exc}")
+    previous = os.environ.get("REPRO_WORKERS")
+    os.environ["REPRO_WORKERS"] = ",".join(addrs)
+    yield tuple(addrs)
+    if previous is None:
+        os.environ.pop("REPRO_WORKERS", None)
+    else:
+        os.environ["REPRO_WORKERS"] = previous
+    for addr in addrs:
+        shutdown_worker(addr)
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except Exception:  # pragma: no cover - stuck daemon
+            proc.kill()
+
+
+@pytest.fixture(autouse=True)
+def _cluster_backend_guard(request):
+    """Give every test parametrized with the ``cluster`` backend live
+    loopback daemons (or a clean skip when sockets are unavailable)."""
+    callspec = getattr(request.node, "callspec", None)
+    if callspec is None:
+        return
+    if any(
+        isinstance(value, str) and value == "cluster"
+        for value in callspec.params.values()
+    ):
+        request.getfixturevalue("cluster_daemons")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,434 @@
+"""Cluster executor: socket daemons, heartbeats, remote block fetch.
+
+Contracts under test:
+
+* **Wire protocol** — address parsing, length-prefixed frame round-trips
+  (in-band meta + out-of-band buffers), and the handshake's version gate.
+* **Loss detection** — a mute daemon trips the heartbeat timeout; a
+  SIGKILLed daemon is detected and its in-flight work recovered through
+  the ordinary lineage machinery, byte-identical to a serial run.
+* **Remote block fetch** — a worker missing a shuffle segment on local
+  disk pulls it from a peer daemon; the fetched file is byte-identical
+  to the original, and a genuine miss stays a miss.
+* **Operator ergonomics** — an unreachable address fails fast with an
+  error naming the bad ``REPRO_WORKERS`` entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ClusterContext
+from repro.engine.cluster import (
+    BlockFetcher,
+    ClusterExecutor,
+    launch_worker,
+    resolve_cluster_workers,
+    shutdown_worker,
+    sockets_available,
+)
+from repro.engine.executor import WorkerDied, available_backends
+from repro.engine.netproto import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    client_handshake,
+    connect,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+pytestmark = pytest.mark.skipif(
+    not sockets_available(), reason="loopback sockets unavailable"
+)
+
+
+def digest(arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# netproto: addresses, framing, handshake
+# ----------------------------------------------------------------------
+class TestNetProto:
+    def test_parse_address_tcp_and_unix(self):
+        assert parse_address("127.0.0.1:9000") == ("tcp", "127.0.0.1", 9000)
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    @pytest.mark.parametrize("bad", ["", "nohost", "host:notaport", ":-1"])
+    def test_parse_address_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_frame_roundtrip_with_buffers(self):
+        a, b = socket.socketpair()
+        try:
+            payload = np.arange(1000, dtype=np.int64).tobytes()
+            sent = send_message(a, ("run", {"k": 1}), [payload, b"tail"])
+            assert sent > len(payload)
+            obj, buffers, received = recv_message(b)
+            assert obj == ("run", {"k": 1})
+            assert bytes(buffers[0]) == payload
+            assert bytes(buffers[1]) == b"tail"
+            assert received == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none_and_midframe_eof_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00")  # torn header
+        a.close()
+        try:
+            with pytest.raises(ConnectionError):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_resolve_cluster_workers_parsing(self):
+        assert resolve_cluster_workers("h1:1, h2:2") == ["h1:1", "h2:2"]
+        assert resolve_cluster_workers(["h1:1", " h2:2 "]) == ["h1:1", "h2:2"]
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_cluster_workers([], required=True)
+        with pytest.raises(ValueError):
+            resolve_cluster_workers("not-an-address")
+
+
+# ----------------------------------------------------------------------
+# Daemon lifecycle + handshake gate (real subprocess daemons)
+# ----------------------------------------------------------------------
+class TestDaemonHandshake:
+    def test_launch_announce_shutdown(self, tmp_path):
+        proc, addr = launch_worker(roots=(tmp_path,))
+        try:
+            host, port = addr.rsplit(":", 1)
+            assert int(port) > 0
+            assert shutdown_worker(addr)
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_version_mismatch_rejected(self):
+        proc, addr = launch_worker()
+        try:
+            sock = connect(addr)
+            try:
+                send_message(sock, ("hello", PROTOCOL_VERSION + 999, {}))
+                obj, _buffers, _n = recv_message(sock)
+                assert obj[0] == "hello-err"
+                assert "protocol version mismatch" in obj[1]
+            finally:
+                sock.close()
+            # The daemon survives a rejected peer and still serves a
+            # well-versioned one.
+            sock = connect(addr)
+            try:
+                info = client_handshake(
+                    sock, {"role": "driver", "peers": []}
+                )
+                assert info["pid"] == proc.pid
+            finally:
+                sock.close()
+        finally:
+            shutdown_worker(addr)
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+    def test_client_handshake_raises_protocolerror(self):
+        proc, addr = launch_worker()
+        try:
+            sock = socket.create_connection(tuple(parse_address(addr)[1:]))
+            try:
+                send_message(sock, ("hello", -1, {}))
+                with pytest.raises(ProtocolError, match="version mismatch"):
+                    # Re-drive the client side manually: the daemon
+                    # already rejected, so the reply is hello-err.
+                    obj, _b, _n = recv_message(sock)
+                    raise ProtocolError(obj[1])
+            finally:
+                sock.close()
+        finally:
+            shutdown_worker(addr)
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+
+# ----------------------------------------------------------------------
+# Heartbeat timeout: a handshaking-but-mute peer is declared lost
+# ----------------------------------------------------------------------
+def _mute_worker(server: socket.socket, stop: threading.Event) -> None:
+    """Accept one driver, complete the handshake, then read frames
+    forever without ever replying — not even to pings."""
+    server.settimeout(10.0)
+    try:
+        conn, _ = server.accept()
+    except OSError:
+        return
+    try:
+        conn.settimeout(10.0)
+        if recv_message(conn) is None:
+            return
+        send_message(
+            conn, ("hello-ok", PROTOCOL_VERSION, {"pid": 0, "roots": 0})
+        )
+        while not stop.is_set():
+            try:
+                if recv_message(conn) is None:
+                    return
+            except (ConnectionError, OSError):
+                return
+    finally:
+        conn.close()
+
+
+class TestHeartbeat:
+    def test_mute_worker_times_out(self):
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        addr = "127.0.0.1:%d" % server.getsockname()[1]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_mute_worker, args=(server, stop), daemon=True
+        )
+        thread.start()
+        ex = ClusterExecutor(
+            [addr], heartbeat_interval=0.05, heartbeat_timeout=0.4
+        )
+        try:
+            started = time.monotonic()
+            outcomes = ex.run_outcomes(
+                [lambda k=k: k for k in range(4)]
+            )
+            elapsed = time.monotonic() - started
+            assert all(
+                isinstance(o.error, WorkerDied) for o in outcomes
+            )
+            assert any(
+                "heartbeat timeout" in str(o.error) or "lost" in str(o.error)
+                for o in outcomes
+            )
+            assert ex.workers_lost == 1
+            assert elapsed < 10.0  # detected by heartbeat, not a hang
+        finally:
+            stop.set()
+            ex.close()
+            server.close()
+            thread.join(timeout=5)
+
+    def test_heartbeat_knobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECONDS", "0.25")
+        monkeypatch.setenv("REPRO_HEARTBEAT_TIMEOUT", "2.5")
+        ex = ClusterExecutor(["127.0.0.1:65000"])
+        try:
+            assert ex.heartbeat_interval == 0.25
+            assert ex.heartbeat_timeout == 2.5
+        finally:
+            ex.close()
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECONDS", "-1")
+        with pytest.raises(ValueError):
+            ClusterExecutor(["127.0.0.1:65000"])
+
+
+# ----------------------------------------------------------------------
+# Daemon loss mid-batch: lineage recovery, byte-identical results
+# ----------------------------------------------------------------------
+class TestDaemonLossRecovery:
+    def _pipeline(self, ctx):
+        data = np.arange(60_000, dtype=np.int64)
+
+        def slow(cols, i):
+            time.sleep(0.05)
+            return tuple((c * 7 + i) % 9973 for c in cols)
+
+        return (
+            ctx.parallelize([data], n_partitions=8)
+            .map_partitions(slow)
+            .distinct()
+            .collect()
+        )
+
+    def test_sigkill_mid_batch_recovers_byte_identical(self):
+        with ClusterContext(
+            executor="serial", n_nodes=2, executor_cores=2
+        ) as ctx:
+            ref = digest(list(self._pipeline(ctx)))
+            ref_stages = [
+                (r.stage, r.partition, r.node, r.bytes_out)
+                for r in ctx.metrics.tasks
+            ]
+
+        procs, addrs = [], []
+        for _ in range(2):
+            proc, addr = launch_worker()
+            procs.append(proc)
+            addrs.append(addr)
+        try:
+            with ClusterContext(
+                executor="cluster", workers=addrs, n_nodes=2,
+                executor_cores=2, retry_backoff_seconds=0.0,
+            ) as ctx:
+                killer = threading.Timer(
+                    0.2, procs[0].send_signal, (signal.SIGKILL,)
+                )
+                killer.start()
+                try:
+                    got = digest(list(self._pipeline(ctx)))
+                finally:
+                    killer.cancel()
+                got_stages = [
+                    (r.stage, r.partition, r.node, r.bytes_out)
+                    for r in ctx.metrics.tasks
+                ]
+                assert ctx.executor.workers_lost >= 1
+            assert got == ref
+            assert got_stages == ref_stages
+        finally:
+            for addr in addrs:
+                shutdown_worker(addr)
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except Exception:
+                    proc.kill()
+
+    def test_unreachable_worker_names_the_address(self):
+        # Port 1 on loopback refuses immediately; the error must tell
+        # the operator which configured entry is bad.
+        ex = ClusterExecutor(["127.0.0.1:1"], connect_timeout=2.0)
+        try:
+            with pytest.raises(RuntimeError, match=r"127\.0\.0\.1:1"):
+                ex.run_outcomes([lambda k=k: k for k in range(2)])
+        finally:
+            ex.close()
+
+
+# ----------------------------------------------------------------------
+# Remote block fetch: peer pull equals local read
+# ----------------------------------------------------------------------
+class TestRemoteFetch:
+    def test_fetch_matches_original_and_misses_stay_misses(self, tmp_path):
+        served = tmp_path / "served"
+        local = tmp_path / "local"
+        served.mkdir()
+        local.mkdir()
+        blob = np.arange(30_000, dtype=np.int64).tobytes()
+        (served / "shuffle_0_3.blk").write_bytes(blob)
+
+        proc, addr = launch_worker(roots=(served,))
+        fetcher = BlockFetcher([addr])
+        try:
+            target = local / "shuffle_0_3.blk"
+            assert fetcher(target) is True
+            assert target.read_bytes() == blob
+            assert fetcher.fetched == 1
+            assert fetcher.fetched_bytes == len(blob)
+            # A segment no daemon has stays missing.
+            assert fetcher(local / "nope.blk") is False
+            assert fetcher.misses == 1
+            assert not (local / "nope.blk").exists()
+        finally:
+            fetcher.close()
+            shutdown_worker(addr)
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+    def test_resolver_feeds_codec_reads(self, tmp_path):
+        """read_named_file on a path that is only present on a peer
+        daemon returns bytes identical to reading the original directly
+        (the driver-relayed baseline)."""
+        from repro.engine.storage import (
+            load_block_file,
+            set_missing_file_resolver,
+            write_block_file,
+        )
+
+        served = tmp_path / "served"
+        local = tmp_path / "local"
+        served.mkdir()
+        local.mkdir()
+        cols = (np.arange(5000, dtype=np.int64), np.ones(5000))
+        write_block_file(str(served / "block_7.npz"), cols)
+        direct = load_block_file(str(served / "block_7.npz"))
+
+        proc, addr = launch_worker(roots=(served,))
+        fetcher = BlockFetcher([addr])
+        previous = set_missing_file_resolver(fetcher)
+        try:
+            fetched = load_block_file(str(local / "block_7.npz"))
+            assert all(
+                np.array_equal(a, b) for a, b in zip(fetched, direct)
+            )
+            assert len(fetched) == len(direct)
+            assert (
+                (local / "block_7.npz").read_bytes()
+                == (served / "block_7.npz").read_bytes()
+            )
+        finally:
+            set_missing_file_resolver(previous)
+            fetcher.close()
+            shutdown_worker(addr)
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+
+# ----------------------------------------------------------------------
+# Registry + equivalence smoke (the matrix runs the full sweep)
+# ----------------------------------------------------------------------
+class TestClusterEquivalence:
+    def test_cluster_is_a_registered_backend(self):
+        assert "cluster" in available_backends()
+
+    def test_digest_and_transport_match_serial(self, cluster_daemons):
+        def run(backend, **kw):
+            with ClusterContext(
+                executor=backend, n_nodes=2, executor_cores=2, **kw
+            ) as ctx:
+                data = np.arange(40_000, dtype=np.int64)
+                out = (
+                    ctx.parallelize([data], n_partitions=6)
+                    .map_partitions(lambda c, i: ((c[0] * 31 + i) % 997,))
+                    .distinct()
+                    .collect()
+                )
+                return digest(list(out)), ctx.metrics.transport_breakdown()
+
+        ref, _ = run("serial")
+        got, transport = run("cluster", workers=list(cluster_daemons))
+        assert got == ref
+        assert transport["network_bytes"] > 0
+        assert transport["round_trips"] > 0
+
+    def test_env_workers_pick_up_daemons(self, cluster_daemons):
+        assert os.environ["REPRO_WORKERS"] == ",".join(cluster_daemons)
+        with ClusterContext(
+            executor="cluster", n_nodes=2, executor_cores=2
+        ) as ctx:
+            assert ctx.executor.name == "cluster"
+            assert tuple(ctx.executor.addresses) == tuple(cluster_daemons)

@@ -52,10 +52,17 @@ class TestExecutorBasics:
         finally:
             ex.close()
 
-    def test_backend_registry(self):
-        assert BACKENDS == ("serial", "threads", "processes", "pool")
-        with pytest.raises(ValueError):
+    def test_backend_registry(self, monkeypatch):
+        assert BACKENDS == (
+            "serial", "threads", "processes", "pool", "cluster",
+        )
+        # Without daemon addresses the cluster backend refuses to build,
+        # and the error says where addresses come from.
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
             make_executor("cluster")
+        with pytest.raises(ValueError):
+            make_executor("bogus")
         with pytest.raises(ValueError):
             make_executor("serial", 0)
 

@@ -764,7 +764,10 @@ class TestHypothesisChaos:
     @settings(
         max_examples=CHAOS_EXAMPLES,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
     )
     @given(
         plan=fault_plans,
@@ -772,8 +775,12 @@ class TestHypothesisChaos:
         backend=st.sampled_from(BACKENDS),
     )
     def test_random_pipeline_digest_equal_to_fault_free(
-        self, plan, ops, backend
+        self, request, plan, ops, backend
     ):
+        if backend == "cluster":
+            # The sampled backend isn't a pytest param, so the autouse
+            # guard can't see it — request the daemons explicitly.
+            request.getfixturevalue("cluster_daemons")
         with _ctx(backend, ZERO_PLAN) as ref_ctx:
             ref = _apply_pipeline(ref_ctx, ops)
         with _ctx(backend, plan) as got_ctx:

@@ -426,7 +426,7 @@ class TestCoalescing:
 class TestTransportMetering:
     EXPECTED_KEYS = {
         "submit_seconds", "serialize_seconds", "ipc_wait_seconds",
-        "compute_seconds", "payload_bytes",
+        "compute_seconds", "payload_bytes", "network_bytes", "round_trips",
     }
 
     def test_serial_profile(self):
@@ -467,3 +467,72 @@ class TestTransportMetering:
         m = SimulationMetrics(n_nodes=1)
         assert m.transport_breakdown()["payload_bytes"] == 0
         assert m.dispatch_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory hygiene: close() must leave no arena segments behind
+# and the whole lifecycle must be silent under warnings-as-errors.
+# ----------------------------------------------------------------------
+_SHM_HYGIENE_SCRIPT = """
+import gc, os
+import numpy as np
+from repro.engine.executor import PoolExecutor
+
+shm_dir = "/dev/shm"
+before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else None
+
+big = np.arange(200_000, dtype=np.int64)
+driver = os.getpid()
+
+def work(k):
+    # Half the tasks kill their worker mid-batch: killed workers leave
+    # result-arena segments only the driver can unlink.
+    if k % 2 == 0 and os.getpid() != driver:
+        os._exit(9)
+    return big + k
+
+ex = PoolExecutor(2)
+for _ in range(2):
+    ex.run_outcomes([(lambda k=k: work(k)) for k in range(8)])
+assert ex.workers_respawned > 0
+ex.close()
+gc.collect()
+
+if before is not None:
+    leaked = set(os.listdir(shm_dir)) - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+print("HYGIENE-OK")
+"""
+
+
+class TestShmHygiene:
+    def test_pool_lifecycle_is_resourcewarning_free(self, tmp_path):
+        """Run a kill-heavy pool lifecycle in a fresh interpreter with
+        ResourceWarning promoted to an error: close() must unlink every
+        recycled arena segment (even those of killed workers) and leave
+        no unclosed fds for -X dev to complain about."""
+        import subprocess
+        import sys
+
+        script = tmp_path / "shm_hygiene.py"
+        script.write_text(_SHM_HYGIENE_SCRIPT)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        src = os.path.abspath(src)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-X", "dev",
+                "-W", "error::ResourceWarning",
+                str(script),
+            ],
+            capture_output=True, text=True, timeout=180, env=env,
+        )
+        output = proc.stdout + proc.stderr
+        assert proc.returncode == 0, output
+        assert "HYGIENE-OK" in output
+        assert "ResourceWarning" not in output
