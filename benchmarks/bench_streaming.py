@@ -1,0 +1,266 @@
+"""Streaming-pipeline benchmark: sustained rate, backpressure, latency.
+
+The §VI outlook of the paper is online detection over a live stream; the
+:mod:`repro.stream` pipeline serves it.  This bench writes the
+``streaming`` section of ``benchmarks/results/BENCH_engine.json``:
+
+* **throughput** — a synthetic trace (background + two timed attacks)
+  pushed through the four-stage pipeline at the default queue capacity:
+  sustained source events/sec, per-stage rates, and end-to-end window
+  latency p50/p99 (window close in the assembly stage → detection sink
+  done);
+* **backpressure** — the same source against a deliberately slow sink
+  (``sink_delay_seconds``) at a tiny queue capacity: every queue's depth
+  high-water must stay ≤ its capacity (the bounded-memory guarantee)
+  while the stall counters prove the source actually blocked;
+* **identity** — the streamed detections compared against the batch
+  reference (global sort + the same :class:`OnlineDetector`): must be
+  byte-identical, and each injected attack's time-to-detection is
+  recorded.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the trace to a CI-sized run (~10 s).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_streaming.py``)
+or via pytest like the figure benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.pipeline import packets_from
+from repro.detect import DetectionThresholds, OnlineDetector
+from repro.netflow import FlowTable, assemble_flows
+from repro.stream import StreamPipeline, TraceSource
+from repro.trace import attacks
+from repro.trace.hosts import ipv4
+from repro.trace.synthesizer import TraceSynthesizer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+DETECT_WINDOW = 5.0
+STREAM_SEED = 17
+
+
+def _trace_params() -> tuple[float, float]:
+    """(duration seconds, session rate) for the synthetic trace."""
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return 10.0, 30.0
+    return 40.0, 60.0
+
+
+def _build_source(duration: float, rate: float) -> TraceSource:
+    flood = attacks.syn_flood(
+        attacker_ip=ipv4(203, 0, 113, 5), victim_ip=ipv4(10, 2, 0, 2),
+        start_time=1_000_000.0 + duration * 0.25,
+        duration=min(4.0, duration / 4),
+    )
+    scan = attacks.host_scan(
+        attacker_ip=ipv4(203, 0, 113, 6), victim_ip=ipv4(10, 2, 0, 3),
+        start_time=1_000_000.0 + duration * 0.6,
+        duration=min(6.0, duration / 4),
+    )
+    return TraceSource(
+        synthesizer=TraceSynthesizer(session_rate=rate, seed=STREAM_SEED),
+        duration=duration,
+        attacks=(flood, scan),
+    )
+
+
+def _thresholds(duration: float, rate: float) -> DetectionThresholds:
+    clean = TraceSynthesizer(
+        session_rate=rate, seed=STREAM_SEED
+    ).generate(duration, start_time=1_000_000.0)
+    table = FlowTable.from_records(
+        list(assemble_flows(packets_from(clean)))
+    )
+    return DetectionThresholds.fit_normal(
+        {k: table[k] for k in FlowTable.COLUMN_NAMES},
+        window_seconds=DETECT_WINDOW,
+    )
+
+
+def _batch_reference(source: TraceSource, thresholds) -> list:
+    records = list(assemble_flows(packets_from(iter(source.frames()))))
+    records.sort(key=lambda r: r.start_time)
+    return list(
+        OnlineDetector(thresholds, window_seconds=DETECT_WINDOW).run(records)
+    )
+
+
+def _queue_rows(stats) -> list[dict]:
+    return [
+        {
+            "name": q.name,
+            "capacity": q.capacity,
+            "depth_high_water": q.depth_high_water,
+            "backpressure_stalls": q.backpressure_stalls,
+            "stall_seconds": round(q.stall_seconds, 4),
+        }
+        for q in stats.queues
+    ]
+
+
+def run_streaming() -> dict:
+    duration, rate = _trace_params()
+    thresholds = _thresholds(duration, rate)
+
+    # -- throughput at the default capacity, no artificial delay -------
+    source = _build_source(duration, rate)
+    result = StreamPipeline(
+        source,
+        detector=OnlineDetector(thresholds, window_seconds=DETECT_WINDOW),
+        window_seconds=DETECT_WINDOW,
+    ).run()
+    stats = result.stats
+    throughput = {
+        "trace_seconds": duration,
+        "session_rate": rate,
+        "packets": stats.packets,
+        "flows": stats.flows,
+        "windows": stats.windows,
+        "late_flows": stats.late_flows,
+        "wall_seconds": round(stats.wall_seconds, 4),
+        "events_per_second": round(stats.events_per_second, 1),
+        "stage_events_per_second": {
+            s.name: round(s.events_per_second, 1)
+            for s in stats.stages
+            if s.busy_seconds > 0
+        },
+        "window_latency_ms": {
+            "p50": round(stats.window_latency_p50_ms, 3),
+            "p99": round(stats.window_latency_p99_ms, 3),
+            "mean": round(stats.window_latency_mean_ms, 3),
+        },
+        "queues": _queue_rows(stats),
+    }
+
+    # -- identity + time-to-detection ----------------------------------
+    batch = _batch_reference(source, thresholds)
+    identity = {
+        "batch_detections": len(batch),
+        "stream_detections": len(result.detections),
+        "identical": list(result.detections) == batch,
+    }
+    detection = {
+        "attacks": [
+            {
+                "kind": lat.kind,
+                "detected": lat.detected,
+                "seconds_to_detection": (
+                    round(lat.seconds_to_detection, 3)
+                    if lat.detected else None
+                ),
+            }
+            for lat in result.latencies
+        ],
+        "all_detected": all(lat.detected for lat in result.latencies),
+    }
+
+    # -- backpressure: fast source, deliberately slow sink -------------
+    bp_capacity = 2
+    bp_delay = 0.05
+    bp_source = _build_source(duration, rate)
+    bp_result = StreamPipeline(
+        bp_source,
+        detector=OnlineDetector(thresholds, window_seconds=DETECT_WINDOW),
+        window_seconds=DETECT_WINDOW,
+        queue_capacity=bp_capacity,
+        sink_delay_seconds=bp_delay,
+    ).run()
+    bp_stats = bp_result.stats
+    queues = _queue_rows(bp_stats)
+    backpressure = {
+        "queue_capacity": bp_capacity,
+        "sink_delay_seconds": bp_delay,
+        "queues": queues,
+        "max_depth_high_water": max(
+            q["depth_high_water"] for q in queues
+        ),
+        "within_capacity": all(
+            q["depth_high_water"] <= q["capacity"] for q in queues
+        ),
+        "total_stalls": sum(q["backpressure_stalls"] for q in queues),
+        "identical_to_batch": list(bp_result.detections) == batch,
+    }
+
+    section = {
+        "smoke": bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        "detect_window_seconds": DETECT_WINDOW,
+        "throughput": throughput,
+        "detection": detection,
+        "identity": identity,
+        "backpressure": backpressure,
+    }
+
+    # Read-modify-write: this section rides alongside the engine report.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = {}
+    if JSON_PATH.exists():
+        report = json.loads(JSON_PATH.read_text())
+    report["streaming"] = section
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"== streaming throughput ({duration:g}s trace @ {rate:g} "
+          "sessions/s) ==")
+    print(stats.summary())
+    print("\n== backpressure (capacity "
+          f"{bp_capacity}, sink delay {bp_delay * 1e3:.0f} ms/window) ==")
+    print(bp_stats.summary())
+    print("\ntime-to-detection:")
+    for entry in detection["attacks"]:
+        ttd = entry["seconds_to_detection"]
+        print(f"  {entry['kind']:<14} "
+              f"{'MISSED' if ttd is None else f'{ttd:.1f}s after onset'}")
+    print(f"stream == batch: {identity['identical']}")
+    print(f"\nwritten to {JSON_PATH}")
+    return section
+
+
+# ----------------------------------------------------------------------
+def test_streaming(benchmark):
+    section = run_streaming()
+
+    # Byte-identity: the streamed detections equal the batch reference,
+    # even under backpressure with a tiny queue.
+    assert section["identity"]["identical"], section["identity"]
+    assert section["backpressure"]["identical_to_batch"]
+
+    # Bounded memory: no queue ever exceeded its configured capacity,
+    # and the slow sink really did stall upstream stages.
+    bp = section["backpressure"]
+    assert bp["within_capacity"], bp["queues"]
+    assert bp["max_depth_high_water"] <= bp["queue_capacity"]
+    assert bp["total_stalls"] > 0, "slow sink produced no backpressure"
+
+    # The pipeline made progress and the latency percentiles are sane.
+    tp = section["throughput"]
+    assert tp["events_per_second"] > 0
+    assert tp["windows"] > 0 and tp["flows"] > 0
+    assert tp["late_flows"] == 0  # auto lateness never mis-windows
+    lat = tp["window_latency_ms"]
+    assert 0 < lat["p50"] <= lat["p99"]
+
+    # Both injected attacks were caught while streaming.
+    assert section["detection"]["all_detected"], section["detection"]
+
+    duration, rate = _trace_params()
+    thresholds = _thresholds(duration, rate)
+    benchmark.pedantic(
+        lambda: StreamPipeline(
+            _build_source(duration, rate),
+            detector=OnlineDetector(
+                thresholds, window_seconds=DETECT_WINDOW
+            ),
+            window_seconds=DETECT_WINDOW,
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    run_streaming()

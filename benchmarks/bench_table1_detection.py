@@ -12,7 +12,7 @@ threshold-sensitivity sweep.
 from __future__ import annotations
 
 from conftest import save_series
-from repro.core.pipeline import _packets_from
+from repro.core.pipeline import packets_from
 from repro.detect import (
     DetectionThresholds,
     NetflowAnomalyDetector,
@@ -29,7 +29,7 @@ WINDOW = 5.0
 def _table(frames):
     frames = sorted(frames, key=lambda f: f[0])
     return FlowTable.from_records(
-        list(assemble_flows(_packets_from(frames)))
+        list(assemble_flows(packets_from(frames)))
     )
 
 

@@ -14,7 +14,7 @@
 Run:  python examples/attack_detection.py
 """
 
-from repro.core.pipeline import _packets_from
+from repro.core.pipeline import packets_from
 from repro.detect import (
     DetectionThresholds,
     NetflowAnomalyDetector,
@@ -30,7 +30,7 @@ WINDOW = 5.0
 
 def to_table(frames):
     frames = sorted(frames, key=lambda f: f[0])
-    return FlowTable.from_records(list(assemble_flows(_packets_from(frames))))
+    return FlowTable.from_records(list(assemble_flows(packets_from(frames))))
 
 
 def cols(table):

@@ -245,6 +245,54 @@ def build_parser() -> argparse.ArgumentParser:
         "cache (default 2)",
     )
 
+    p = sub.add_parser(
+        "stream",
+        help="run the micro-batch streaming pipeline for a bounded "
+        "session: synthetic traffic + injected attacks flow through "
+        "windowed assembly, the live graph and the online detector; "
+        "prints per-stage throughput, backpressure and time-to-detection",
+    )
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="seconds of background traffic (default 30)")
+    p.add_argument("--session-rate", type=float, default=40.0)
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument(
+        "--attacks", type=str, default="syn_flood,host_scan",
+        metavar="LIST",
+        help="comma-separated attacks to inject out of syn_flood, "
+        "host_scan, network_scan, udp_flood, icmp_flood, ddos_syn_flood "
+        "(default syn_flood,host_scan; 'none' for a clean run)",
+    )
+    p.add_argument(
+        "--replay", type=Path, default=None, metavar="FILE",
+        help="replay a .pcap packet trace or a .npz flow-table archive "
+        "instead of synthesizing traffic",
+    )
+    p.add_argument(
+        "--window", type=str, default=None,
+        help="micro-batch window seconds (default: REPRO_STREAM_WINDOW "
+        "env var, then 5.0)",
+    )
+    p.add_argument(
+        "--lateness", type=str, default=None,
+        help="allowed lateness seconds, or 'auto' for the safe bound "
+        "(default: REPRO_STREAM_LATENESS env var, then auto)",
+    )
+    p.add_argument(
+        "--queue-capacity", type=str, default=None, metavar="N",
+        help="bounded-queue capacity in micro-batches (default: "
+        "REPRO_STREAM_QUEUE env var, then 8)",
+    )
+    p.add_argument("--batch-packets", type=int, default=256,
+                   help="packets per source micro-batch (default 256)")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   help="flow-assembly idle timeout seconds")
+    p.add_argument(
+        "--sink-delay", type=float, default=0.0,
+        help="artificial per-window sink delay in seconds (demonstrates "
+        "backpressure)",
+    )
+
     return parser
 
 
@@ -572,6 +620,181 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _build_cli_attacks(names: str, duration: float, start: float):
+    """Instantiate the requested injectors on a schedule inside the run."""
+    from repro.trace import attacks
+    from repro.trace.hosts import ipv4
+
+    builders = {
+        "syn_flood": lambda t: attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5), victim_ip=ipv4(10, 2, 0, 2),
+            start_time=t, duration=min(4.0, duration / 4),
+        ),
+        "host_scan": lambda t: attacks.host_scan(
+            attacker_ip=ipv4(203, 0, 113, 6), victim_ip=ipv4(10, 2, 0, 3),
+            start_time=t, duration=min(6.0, duration / 4),
+        ),
+        "network_scan": lambda t: attacks.network_scan(
+            attacker_ip=ipv4(203, 0, 113, 7), subnet_base=ipv4(10, 2, 0, 0),
+            start_time=t, duration=min(8.0, duration / 4),
+        ),
+        "udp_flood": lambda t: attacks.udp_flood(
+            attacker_ip=ipv4(203, 0, 113, 8), victim_ip=ipv4(10, 2, 0, 4),
+            start_time=t, duration=min(4.0, duration / 4),
+        ),
+        "icmp_flood": lambda t: attacks.icmp_flood(
+            attacker_ip=ipv4(203, 0, 113, 9), victim_ip=ipv4(10, 2, 0, 5),
+            start_time=t, duration=min(4.0, duration / 4),
+        ),
+        "ddos_syn_flood": lambda t: attacks.ddos_syn_flood(
+            attacker_ips=tuple(ipv4(198, 51, 100, i) for i in range(1, 9)),
+            victim_ip=ipv4(10, 2, 0, 6),
+            start_time=t, duration=min(4.0, duration / 4),
+        ),
+    }
+    wanted = [n.strip() for n in names.split(",") if n.strip()]
+    if wanted == ["none"]:
+        return []
+    unknown = set(wanted) - set(builders)
+    if unknown:
+        raise ValueError(f"unknown attacks: {sorted(unknown)}")
+    # Space the onsets evenly over the middle of the session so each
+    # attack has clean traffic before it and room to finish.
+    out = []
+    for i, name in enumerate(wanted):
+        onset = start + duration * (i + 1) / (len(wanted) + 1)
+        out.append(builders[name](onset))
+    return out
+
+
+def _cmd_stream(args) -> int:
+    from repro.core.pipeline import packets_from
+    from repro.detect import DetectionThresholds, OnlineDetector
+    from repro.netflow import FlowTable, assemble_flows
+    from repro.serve import QueryServer
+    from repro.stream import (
+        STREAM_LATENESS_ENV_VAR,
+        STREAM_QUEUE_ENV_VAR,
+        STREAM_WINDOW_ENV_VAR,
+        GraphAccumulator,
+        ReplaySource,
+        StreamPipeline,
+        TraceSource,
+    )
+    from repro.trace.synthesizer import TraceSynthesizer
+
+    def source_of(flag_set: bool, env_var: str) -> str:
+        if flag_set:
+            return "flag"
+        if os.environ.get(env_var):
+            return f"env {env_var}"
+        return "default"
+
+    detect_window = 5.0
+    if args.replay is not None:
+        source = ReplaySource(args.replay, batch_packets=args.batch_packets)
+        # Calibrate on the capture itself (same default as `detect`).
+        if args.replay.suffix.lower() == ".npz":
+            table = FlowTable.load_npz(args.replay)
+        else:
+            records = list(
+                assemble_flows(packets_from(args.replay),
+                               idle_timeout=args.idle_timeout)
+            )
+            table = FlowTable.from_records(records)
+    else:
+        start_time = 1_000_000.0
+        try:
+            gts = _build_cli_attacks(
+                args.attacks, args.duration, start_time
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        source = TraceSource(
+            synthesizer=TraceSynthesizer(
+                session_rate=args.session_rate, seed=args.seed
+            ),
+            duration=args.duration,
+            attacks=tuple(gts),
+            batch_packets=args.batch_packets,
+            start_time=start_time,
+        )
+        # Calibrate thresholds on the clean background (same seed, no
+        # attacks) so the injected attacks stand out.
+        clean = TraceSynthesizer(
+            session_rate=args.session_rate, seed=args.seed
+        ).generate(args.duration, start_time=start_time)
+        table = FlowTable.from_records(
+            list(assemble_flows(packets_from(clean),
+                                idle_timeout=args.idle_timeout))
+        )
+    thresholds = DetectionThresholds.fit_normal(
+        {k: table[k] for k in FlowTable.COLUMN_NAMES},
+        window_seconds=detect_window,
+    )
+    detector = OnlineDetector(thresholds, window_seconds=detect_window)
+    server = QueryServer(GraphAccumulator().graph(), threads=1)
+
+    pipeline = StreamPipeline(
+        source,
+        detector=detector,
+        window_seconds=args.window,
+        lateness=args.lateness,
+        queue_capacity=args.queue_capacity,
+        idle_timeout=args.idle_timeout,
+        server=server,
+        sink_delay_seconds=args.sink_delay,
+    )
+    rows = [
+        ("window", f"{pipeline.window_seconds:g} s",
+         source_of(args.window is not None, STREAM_WINDOW_ENV_VAR)),
+        ("lateness",
+         "auto" if pipeline.lateness is None else f"{pipeline.lateness:g} s",
+         source_of(args.lateness is not None, STREAM_LATENESS_ENV_VAR)),
+        ("queue capacity", str(pipeline.queue_capacity),
+         source_of(args.queue_capacity is not None, STREAM_QUEUE_ENV_VAR)),
+        ("batch packets", str(args.batch_packets),
+         "flag" if args.batch_packets != 256 else "default"),
+        ("source",
+         str(args.replay) if args.replay is not None
+         else f"synthetic {args.duration:g}s @ {args.session_rate:g} "
+              f"sessions/s, seed {args.seed}",
+         "flag" if args.replay is not None else "default"),
+    ]
+    for name, value, src in rows:
+        print(f"{name:<15}: {value:<44} [{src}]")
+
+    print("\nstreaming ...")
+    result = pipeline.run()
+    print(result.stats.summary())
+    if result.graph is not None:
+        print(
+            f"live graph            : {result.graph.n_vertices:,} vertices, "
+            f"{result.graph.n_edges:,} edges "
+            f"(served epoch {server.epoch})"
+        )
+
+    print("\nalarms (stream time):")
+    for alert in result.detections:
+        det = alert.detection
+        ip = det.ip
+        dotted = ".".join(str((ip >> s) & 0xFF) for s in (24, 16, 8, 0))
+        print(f"  t={alert.time:.1f}s  {det.kind:<16} ({det.direction}) "
+              f"{dotted}")
+    if not result.detections:
+        print("  (none)")
+    if result.latencies:
+        print("\ntime-to-detection:")
+        for lat in result.latencies:
+            if lat.detected:
+                print(f"  {lat.kind:<16} detected as {lat.detected_kind} "
+                      f"{lat.seconds_to_detection:.1f}s after onset")
+            else:
+                print(f"  {lat.kind:<16} MISSED")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from repro.engine.cluster import WorkerDaemon
 
@@ -594,6 +817,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "engine-info": _cmd_engine_info,
     "worker": _cmd_worker,
+    "stream": _cmd_stream,
     "detect": _cmd_detect,
     "veracity": _cmd_veracity,
     "query": _cmd_query,

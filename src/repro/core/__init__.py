@@ -19,7 +19,12 @@ from repro.core.generator import (
     SeedAnalysis,
     PropertyModel,
 )
-from repro.core.pipeline import SeedBundle, build_seed, analyze_seed
+from repro.core.pipeline import (
+    SeedBundle,
+    analyze_seed,
+    build_seed,
+    packets_from,
+)
 from repro.core.pgpba import PGPBA
 from repro.core.pgsk import PGSK
 from repro.core.veracity import (
@@ -37,6 +42,7 @@ __all__ = [
     "SeedBundle",
     "build_seed",
     "analyze_seed",
+    "packets_from",
     "PGPBA",
     "PGSK",
     "veracity_score",

@@ -19,7 +19,7 @@ from repro.netflow.record import FlowTable
 from repro.pcap.packet import parse_ethernet_ipv4_packet
 from repro.pcap.reader import PcapReader
 
-__all__ = ["SeedBundle", "build_seed", "analyze_seed"]
+__all__ = ["SeedBundle", "build_seed", "analyze_seed", "packets_from"]
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,7 @@ def build_seed(
         bytes)`` pairs (e.g. :func:`repro.trace.synthesize_seed_packets`
         output), or an iterable of already-parsed packets.
     """
-    packets = _packets_from(source)
+    packets = packets_from(source)
     records = list(assemble_flows(packets, idle_timeout=idle_timeout))
     if not records:
         raise ValueError("the source produced no flows")
@@ -61,7 +61,13 @@ def build_seed(
     return SeedBundle(flow_table=table, graph=graph, analysis=analysis)
 
 
-def _packets_from(source):
+def packets_from(source):
+    """Normalise a packet source into a :class:`ParsedPacket` iterator.
+
+    Accepts a pcap file path, an iterable of ``(timestamp, frame bytes)``
+    pairs, or an iterable of already-parsed packets; unparseable frames
+    are skipped.
+    """
     from repro.pcap.packet import ParsedPacket
 
     if isinstance(source, (str, Path)):
@@ -76,3 +82,15 @@ def _packets_from(source):
         pkt = parse_ethernet_ipv4_packet(frame, timestamp=ts)
         if pkt is not None:
             yield pkt
+
+
+def _packets_from(source):
+    """Deprecated alias of :func:`packets_from` (pre-public name)."""
+    import warnings
+
+    warnings.warn(
+        "_packets_from is deprecated; use repro.core.pipeline.packets_from",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return packets_from(source)

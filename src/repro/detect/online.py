@@ -99,11 +99,35 @@ class OnlineDetector:
         return out
 
     def flush(self) -> list[TimedDetection]:
-        """Evaluate whatever remains in the window (end of stream)."""
+        """Drain: run every pending evaluation plus a final tail pass.
+
+        The result is sorted by detection time and de-duplicated — both
+        within the flush and against every ``(kind, ip, direction)``
+        already alerted during the stream — so a drain never
+        double-reports an attack the hop evaluations caught, even with
+        ``cooldown_seconds=0``.  Calling :meth:`flush` twice without new
+        records is a no-op the second time.
+        """
         if not self._window:
             return []
         end = max(r.start_time for r in self._window) + 1e-9
-        return self._evaluate(end)
+        already = set(self._last_alert)
+        out: list[TimedDetection] = []
+        while self._next_eval is not None and self._next_eval < end:
+            out.extend(self._evaluate(self._next_eval))
+            self._next_eval += self.hop_seconds
+        out.extend(self._evaluate(end))
+        out.sort(key=lambda a: a.time)  # stable: keeps eval order on ties
+        seen: set[tuple] = set()
+        deduped: list[TimedDetection] = []
+        for alert in out:
+            det = alert.detection
+            key = (det.kind, det.ip, det.direction)
+            if key in already or key in seen:
+                continue
+            seen.add(key)
+            deduped.append(alert)
+        return deduped
 
     def run(
         self, records: Iterable[NetflowRecord]

@@ -1,0 +1,104 @@
+"""Streaming-pipeline knobs and their env/flag/default precedence.
+
+Every knob follows the engine convention (see ``repro.engine.context``):
+an explicit argument wins, then the environment variable, then the
+default.
+
+* ``REPRO_STREAM_QUEUE`` / ``--queue-capacity`` — bounded-queue capacity
+  in batches/windows between adjacent stages (default 8).  Blocking-put
+  backpressure means total in-flight memory is bounded by
+  ``capacity x batch size`` per queue no matter how fast the source runs.
+* ``REPRO_STREAM_WINDOW`` / ``--window`` — micro-batch window length in
+  stream seconds (default 5.0).  Flows are grouped into consecutive
+  ``[k*W, (k+1)*W)`` windows of their ``start_time``.
+* ``REPRO_STREAM_LATENESS`` / ``--lateness`` — allowed lateness in
+  seconds, or ``auto``.  The watermark is ``packet clock - lateness``; a
+  window closes when the watermark passes its end.  ``auto`` resolves to
+  the flow assembler's safe bound ``max(idle_timeout,
+  max_flow_duration)``, which guarantees no flow can ever arrive for an
+  already-emitted window — the condition under which a streamed run is
+  byte-identical to the batch run.  Smaller values close windows sooner
+  but may route late flows into a later window (counted in
+  :class:`~repro.stream.stats.StreamStats`).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "STREAM_QUEUE_ENV_VAR",
+    "STREAM_WINDOW_ENV_VAR",
+    "STREAM_LATENESS_ENV_VAR",
+    "DEFAULT_QUEUE_CAPACITY",
+    "DEFAULT_WINDOW_SECONDS",
+    "resolve_queue_capacity",
+    "resolve_window_seconds",
+    "resolve_lateness",
+]
+
+STREAM_QUEUE_ENV_VAR = "REPRO_STREAM_QUEUE"
+STREAM_WINDOW_ENV_VAR = "REPRO_STREAM_WINDOW"
+STREAM_LATENESS_ENV_VAR = "REPRO_STREAM_LATENESS"
+
+DEFAULT_QUEUE_CAPACITY = 8
+DEFAULT_WINDOW_SECONDS = 5.0
+
+
+def resolve_queue_capacity(capacity: int | str | None = None) -> int:
+    """Bounded-queue capacity between stages, in batches/windows."""
+    if capacity is None:
+        env = os.environ.get(STREAM_QUEUE_ENV_VAR)
+        capacity = env if env else DEFAULT_QUEUE_CAPACITY
+    try:
+        capacity = int(capacity)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid stream queue capacity {capacity!r} "
+            f"(set {STREAM_QUEUE_ENV_VAR} or --queue-capacity to a "
+            "positive integer)"
+        ) from None
+    if capacity < 1:
+        raise ValueError(
+            f"stream queue capacity must be >= 1, got {capacity}"
+        )
+    return capacity
+
+
+def resolve_window_seconds(window: float | str | None = None) -> float:
+    """Micro-batch window length in stream seconds."""
+    if window is None:
+        env = os.environ.get(STREAM_WINDOW_ENV_VAR)
+        window = env if env else DEFAULT_WINDOW_SECONDS
+    try:
+        window = float(window)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid stream window {window!r} "
+            f"(set {STREAM_WINDOW_ENV_VAR} or --window to seconds)"
+        ) from None
+    if window <= 0:
+        raise ValueError(f"stream window must be positive, got {window}")
+    return window
+
+
+def resolve_lateness(lateness: float | str | None = None) -> float | None:
+    """Allowed lateness in seconds; ``None`` means ``auto`` (the safe
+    bound derived from the flow assembler's timeouts)."""
+    if lateness is None:
+        lateness = os.environ.get(STREAM_LATENESS_ENV_VAR) or "auto"
+    if isinstance(lateness, str) and lateness.strip().lower() == "auto":
+        return None
+    try:
+        lateness = float(lateness)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid stream lateness {lateness!r} "
+            f"(set {STREAM_LATENESS_ENV_VAR} or --lateness to seconds "
+            "or 'auto')"
+        ) from None
+    if lateness < 0:
+        raise ValueError(
+            f"stream lateness must be non-negative, got {lateness}"
+        )
+    return lateness

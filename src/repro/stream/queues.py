@@ -1,0 +1,118 @@
+"""Bounded inter-stage queues with blocking-put backpressure.
+
+:class:`BoundedQueue` wraps :class:`queue.Queue` with the three things
+the pipeline needs beyond the stdlib:
+
+* **metered backpressure** — a full queue blocks the producer (that *is*
+  the backpressure mechanism); every stall is counted and timed so
+  :class:`~repro.stream.stats.StreamStats` can report where the pipeline
+  is producer- or consumer-bound;
+* **depth high-water tracking** — the maximum observed occupancy, which
+  the streaming benchmark asserts never exceeds the configured capacity
+  (the bounded-memory proof);
+* **abortable blocking** — both :meth:`put` and :meth:`get` poll an
+  abort event so a crashed stage can never deadlock its neighbours
+  against a full (or empty) queue.
+
+``CLOSE`` is the end-of-stream sentinel: a producer puts it exactly once
+after its last real item; a consumer receiving it drains, forwards its
+own ``CLOSE`` downstream, and exits.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+__all__ = ["CLOSE", "BoundedQueue", "PipelineAborted"]
+
+# End-of-stream sentinel (identity-compared).
+CLOSE = object()
+
+_POLL_SECONDS = 0.05
+
+
+class PipelineAborted(RuntimeError):
+    """Raised out of a blocking queue operation when the pipeline aborts
+    (another stage failed or the run was cancelled)."""
+
+
+class BoundedQueue:
+    """A capacity-bounded FIFO connecting two pipeline stages."""
+
+    def __init__(self, capacity: int, *, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._q: queue.Queue = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._puts = 0
+        self._stall_count = 0
+        self._stall_seconds = 0.0
+        self._depth_high_water = 0
+
+    # ------------------------------------------------------------------
+    def put(self, item, abort: threading.Event) -> None:
+        """Enqueue, blocking (with backpressure metering) while full."""
+        try:
+            self._q.put_nowait(item)
+        except queue.Full:
+            t0 = time.perf_counter()
+            while True:
+                if abort.is_set():
+                    raise PipelineAborted(
+                        f"queue {self.name!r}: pipeline aborted during put"
+                    )
+                try:
+                    self._q.put(item, timeout=_POLL_SECONDS)
+                    break
+                except queue.Full:
+                    continue
+            stalled = time.perf_counter() - t0
+            with self._lock:
+                self._stall_count += 1
+                self._stall_seconds += stalled
+        depth = self._q.qsize()
+        with self._lock:
+            self._puts += 1
+            if depth > self._depth_high_water:
+                self._depth_high_water = depth
+
+    def get(self, abort: threading.Event):
+        """Dequeue, blocking until an item (or ``CLOSE``) arrives."""
+        while True:
+            if abort.is_set():
+                raise PipelineAborted(
+                    f"queue {self.name!r}: pipeline aborted during get"
+                )
+            try:
+                return self._q.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+
+    def close(self, abort: threading.Event) -> None:
+        """Signal end-of-stream to the consumer."""
+        self.put(CLOSE, abort)
+
+    # ------------------------------------------------------------------
+    @property
+    def puts(self) -> int:
+        with self._lock:
+            return self._puts
+
+    @property
+    def stall_count(self) -> int:
+        with self._lock:
+            return self._stall_count
+
+    @property
+    def stall_seconds(self) -> float:
+        with self._lock:
+            return self._stall_seconds
+
+    @property
+    def depth_high_water(self) -> int:
+        with self._lock:
+            return self._depth_high_water

@@ -1,0 +1,172 @@
+"""Streaming-pipeline metrics.
+
+One :class:`StreamStats` per run, frozen at drain time:
+
+* per-stage event counts, busy seconds and sustained events/sec (events
+  are packets for the source and assembly stages, flows for the graph
+  stage, flows + alarms for the sink);
+* per-queue depth high-water and backpressure stalls (count + blocked
+  seconds) — the queue high-water can never exceed the configured
+  capacity, which is the pipeline's bounded-memory guarantee;
+* window accounting (windows emitted, late flows) and end-to-end window
+  latency percentiles, measured from the wall-clock instant a window
+  closes in the assembly stage to the instant the detection sink
+  finishes evaluating it.
+
+:meth:`StreamStats.rows` renders ``repro engine-info``-style
+``(name, value)`` rows; :meth:`StreamStats.summary` joins them for the
+``repro stream`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueueStats", "StageStats", "StreamStats"]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Occupancy and backpressure profile of one inter-stage queue."""
+
+    name: str
+    capacity: int
+    puts: int
+    depth_high_water: int
+    backpressure_stalls: int
+    stall_seconds: float
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Throughput profile of one pipeline stage."""
+
+    name: str
+    events_in: int
+    events_out: int
+    batches_in: int
+    batches_out: int
+    busy_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        """Sustained rate while the stage was actually computing."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.events_in / self.busy_seconds
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """The whole run's metrics block."""
+
+    wall_seconds: float
+    stages: tuple[StageStats, ...]
+    queues: tuple[QueueStats, ...]
+    windows: int
+    late_flows: int
+    packets: int
+    flows: int
+    detections: int
+    window_latency_p50_ms: float
+    window_latency_p99_ms: float
+    window_latency_mean_ms: float
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        wall_seconds: float,
+        stages,
+        queues,
+        windows: int,
+        late_flows: int,
+        packets: int,
+        flows: int,
+        detections: int,
+        window_latencies,
+    ) -> "StreamStats":
+        lat = np.asarray(list(window_latencies), dtype=np.float64)
+        if lat.size:
+            p50 = float(np.percentile(lat, 50)) * 1e3
+            p99 = float(np.percentile(lat, 99)) * 1e3
+            mean = float(lat.mean()) * 1e3
+        else:
+            p50 = p99 = mean = 0.0
+        return cls(
+            wall_seconds=wall_seconds,
+            stages=tuple(stages),
+            queues=tuple(queues),
+            windows=windows,
+            late_flows=late_flows,
+            packets=packets,
+            flows=flows,
+            detections=detections,
+            window_latency_p50_ms=p50,
+            window_latency_p99_ms=p99,
+            window_latency_mean_ms=mean,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Headline sustained rate: source events over the run wall."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.packets / self.wall_seconds
+
+    def queue(self, name: str) -> QueueStats:
+        for q in self.queues:
+            if q.name == name:
+                return q
+        raise KeyError(name)
+
+    def stage(self, name: str) -> StageStats:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[tuple[str, str]]:
+        """``repro engine-info``-style (name, value) rows."""
+        out = [
+            ("wall clock", f"{self.wall_seconds:.3f} s"),
+            ("events/sec", f"{self.events_per_second:,.0f} packets/s"),
+            ("packets", f"{self.packets:,}"),
+            ("flows", f"{self.flows:,}"),
+            ("windows", f"{self.windows:,} ({self.late_flows} late flows)"),
+            ("detections", f"{self.detections:,}"),
+            (
+                "window latency",
+                f"p50={self.window_latency_p50_ms:.2f} ms  "
+                f"p99={self.window_latency_p99_ms:.2f} ms  "
+                f"mean={self.window_latency_mean_ms:.2f} ms",
+            ),
+        ]
+        for s in self.stages:
+            out.append(
+                (
+                    f"stage {s.name}",
+                    f"{s.events_in:,} in / {s.events_out:,} out, "
+                    f"busy {s.busy_seconds:.3f} s "
+                    f"({s.events_per_second:,.0f} ev/s)",
+                )
+            )
+        for q in self.queues:
+            out.append(
+                (
+                    f"queue {q.name}",
+                    f"depth high-water {q.depth_high_water}/{q.capacity}, "
+                    f"{q.backpressure_stalls} stalls "
+                    f"({q.stall_seconds:.3f} s blocked)",
+                )
+            )
+        return out
+
+    def summary(self) -> str:
+        return "\n".join(
+            f"{name:<22}: {value}" for name, value in self.rows()
+        )

@@ -159,6 +159,68 @@ class TestEngineInfo:
         assert "PGPBA" in capsys.readouterr().out
 
 
+class TestStream:
+    def test_bounded_session_prints_stats(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--duration", "12", "--session-rate", "30",
+                "--queue-capacity", "4", "--window", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Resolved knobs with their sources, engine-info style.
+        assert "window         : 4 s" in out and "[flag]" in out
+        assert "lateness       : auto" in out and "[default]" in out
+        assert "queue capacity : 4" in out
+        # The StreamStats block and the detection report.
+        assert "events/sec" in out
+        assert "queue source→assembly" in out
+        assert "depth high-water" in out
+        assert "time-to-detection:" in out
+        assert "syn_flood" in out and "host_scan" in out
+        assert "live graph" in out
+
+    def test_env_sources_reported(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STREAM_WINDOW", "2.5")
+        rc = main(
+            [
+                "stream",
+                "--duration", "6", "--session-rate", "20",
+                "--attacks", "none",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "window         : 2.5 s" in out
+        assert "[env REPRO_STREAM_WINDOW]" in out
+
+    def test_replay_npz(self, tmp_path, capsys):
+        from repro.core.pipeline import packets_from
+        from repro.netflow import FlowTable, assemble_flows
+        from repro.trace import synthesize_seed_packets
+
+        frames = synthesize_seed_packets(
+            duration=6.0, session_rate=25, seed=3
+        )
+        table = FlowTable.from_records(
+            list(assemble_flows(packets_from(frames)))
+        )
+        path = tmp_path / "flows.npz"
+        table.save_npz(path)
+        rc = main(["stream", "--replay", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        assert "events/sec" in out
+
+    def test_unknown_attack_rejected(self, capsys):
+        rc = main(["stream", "--attacks", "slowloris"])
+        assert rc == 2
+        assert "unknown attacks" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import _packets_from
+from repro.core.pipeline import packets_from
 from repro.detect import (
     DetectionThresholds,
     NetflowAnomalyDetector,
@@ -23,7 +23,7 @@ WINDOW = 5.0
 def flows_from(frames):
     frames = sorted(frames, key=lambda f: f[0])
     return FlowTable.from_records(
-        list(assemble_flows(_packets_from(frames)))
+        list(assemble_flows(packets_from(frames)))
     )
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import _packets_from
+from repro.core.pipeline import packets_from
 from repro.detect import DetectionThresholds, OnlineDetector
 from repro.netflow import FlowTable, assemble_flows
 from repro.trace import attacks, synthesize_seed_packets
@@ -14,7 +14,7 @@ WINDOW = 5.0
 
 def sorted_records(frames):
     frames = sorted(frames, key=lambda f: f[0])
-    records = list(assemble_flows(_packets_from(frames)))
+    records = list(assemble_flows(packets_from(frames)))
     records.sort(key=lambda r: r.start_time)
     return records
 
@@ -105,6 +105,53 @@ class TestStreaming:
 
     def test_flush_empty(self, thresholds):
         assert OnlineDetector(thresholds).flush() == []
+
+    def test_flush_never_double_reports(self, background, thresholds):
+        """A drain must not re-raise alarms the hop evaluations already
+        emitted — even with cooldown 0, where nothing else suppresses
+        the repeat."""
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5), victim_ip=ipv4(10, 2, 0, 3),
+            start_time=1_000_008.0, duration=4.0,
+        )
+        records = sorted_records(list(background) + gt.frames)
+        detector = OnlineDetector(
+            thresholds, window_seconds=WINDOW, cooldown_seconds=0.0
+        )
+        mid = [d for r in records for d in detector.process(r)]
+        assert mid, "attack should alert before the drain"
+        mid_keys = {
+            (a.detection.kind, a.detection.ip, a.detection.direction)
+            for a in mid
+        }
+        flushed = detector.flush()
+        flushed_keys = {
+            (a.detection.kind, a.detection.ip, a.detection.direction)
+            for a in flushed
+        }
+        assert not (mid_keys & flushed_keys)
+
+    def test_flush_sorted_and_idempotent(self, background, thresholds):
+        gt = attacks.udp_flood(
+            attacker_ip=ipv4(203, 0, 113, 8), victim_ip=ipv4(10, 2, 0, 5),
+            start_time=1_000_015.0,
+        )
+        records = sorted_records(list(background) + gt.frames)
+        detector = OnlineDetector(
+            thresholds, window_seconds=WINDOW, cooldown_seconds=0.0
+        )
+        for r in records:
+            detector.process(r)
+        flushed = detector.flush()
+        times = [a.time for a in flushed]
+        assert times == sorted(times)
+        keys = [
+            (a.detection.kind, a.detection.ip, a.detection.direction)
+            for a in flushed
+        ]
+        assert len(keys) == len(set(keys))
+        # A second drain without new records reports nothing new.
+        assert detector.flush() == []
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import _packets_from, build_seed
+from repro.core.pipeline import build_seed, packets_from
 from repro.detect import (
     DetectionThresholds,
     NetflowAnomalyDetector,
@@ -89,7 +89,7 @@ class TestThresholdTuning:
             frames.extend(a.frames)
         frames.sort(key=lambda f: f[0])
         table = FlowTable.from_records(
-            list(assemble_flows(_packets_from(frames)))
+            list(assemble_flows(packets_from(frames)))
         )
         cols = {k: table[k] for k in FlowTable.COLUMN_NAMES}
 

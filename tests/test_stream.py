@@ -1,0 +1,511 @@
+"""Tests for the micro-batch streaming pipeline (repro.stream)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import packets_from
+from repro.detect import DetectionThresholds, OnlineDetector
+from repro.netflow import FlowTable, assemble_flows
+from repro.netflow.flow_assembler import FlowAssembler
+from repro.netflow.mapping import flow_table_to_property_graph
+from repro.netflow.record import NetflowRecord
+from repro.serve import QueryServer
+from repro.stream import (
+    Batch,
+    BoundedQueue,
+    GraphAccumulator,
+    PipelineAborted,
+    ReplaySource,
+    StreamPipeline,
+    TraceSource,
+    WindowAssembler,
+    resolve_lateness,
+    resolve_queue_capacity,
+    resolve_window_seconds,
+)
+from repro.stream.queues import CLOSE
+from repro.trace import attacks
+from repro.trace.hosts import ipv4
+from repro.trace.synthesizer import TraceSynthesizer
+
+WINDOW = 5.0
+
+
+def make_source(
+    *, duration=20.0, rate=40.0, seed=11, attacks_=(), batch_packets=256
+):
+    return TraceSource(
+        synthesizer=TraceSynthesizer(session_rate=rate, seed=seed),
+        duration=duration,
+        attacks=tuple(attacks_),
+        batch_packets=batch_packets,
+    )
+
+
+def batch_reference(source, detector_kwargs=None):
+    """The equivalent batch run: global stable sort + OnlineDetector."""
+    records = list(assemble_flows(packets_from(iter(source.frames()))))
+    records.sort(key=lambda r: r.start_time)
+    det = OnlineDetector(**(detector_kwargs or {}))
+    return records, list(det.run(records))
+
+
+def record(start, src=1, dst=2, sport=1000, dport=80):
+    return NetflowRecord(
+        src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+        protocol=6, start_time=start, duration_ms=100.0,
+        out_bytes=100, in_bytes=100, out_pkts=1, in_pkts=1,
+        syn_count=1, ack_count=1, state=3,
+    )
+
+
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_STREAM_QUEUE", "REPRO_STREAM_WINDOW",
+                    "REPRO_STREAM_LATENESS"):
+            monkeypatch.delenv(var, raising=False)
+        assert resolve_queue_capacity(None) == 8
+        assert resolve_window_seconds(None) == 5.0
+        assert resolve_lateness(None) is None
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_QUEUE", "3")
+        monkeypatch.setenv("REPRO_STREAM_WINDOW", "2.5")
+        monkeypatch.setenv("REPRO_STREAM_LATENESS", "1.5")
+        assert resolve_queue_capacity(None) == 3
+        assert resolve_window_seconds(None) == 2.5
+        assert resolve_lateness(None) == 1.5
+
+    def test_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_QUEUE", "3")
+        monkeypatch.setenv("REPRO_STREAM_WINDOW", "2.5")
+        monkeypatch.setenv("REPRO_STREAM_LATENESS", "1.5")
+        assert resolve_queue_capacity(16) == 16
+        assert resolve_window_seconds("10") == 10.0
+        assert resolve_lateness("auto") is None
+        assert resolve_lateness(0) == 0.0
+
+    def test_invalid_values(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_queue_capacity(0)
+        with pytest.raises(ValueError):
+            resolve_window_seconds(-1)
+        with pytest.raises(ValueError):
+            resolve_lateness(-0.5)
+        monkeypatch.setenv("REPRO_STREAM_QUEUE", "zero")
+        with pytest.raises(ValueError):
+            resolve_queue_capacity(None)
+
+
+# ----------------------------------------------------------------------
+class TestBoundedQueue:
+    def test_fifo_and_high_water(self):
+        q = BoundedQueue(4, name="t")
+        abort = threading.Event()
+        for i in range(3):
+            q.put(i, abort)
+        assert q.depth_high_water == 3
+        assert [q.get(abort) for _ in range(3)] == [0, 1, 2]
+        assert q.puts == 3
+
+    def test_blocking_put_stalls_until_get(self):
+        q = BoundedQueue(1, name="t")
+        abort = threading.Event()
+        q.put("a", abort)
+        got = []
+
+        def consume():
+            time.sleep(0.15)
+            got.append(q.get(abort))
+            got.append(q.get(abort))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        q.put("b", abort)  # must block until the consumer drains "a"
+        t.join()
+        assert got == ["a", "b"]
+        assert q.stall_count >= 1
+        assert q.stall_seconds > 0
+        assert q.depth_high_water <= 1
+
+    def test_abort_unblocks_put(self):
+        q = BoundedQueue(1, name="t")
+        abort = threading.Event()
+        q.put("a", abort)
+        timer = threading.Timer(0.1, abort.set)
+        timer.start()
+        with pytest.raises(PipelineAborted):
+            q.put("b", abort)
+        timer.join()
+
+    def test_abort_unblocks_get(self):
+        q = BoundedQueue(1, name="t")
+        abort = threading.Event()
+        timer = threading.Timer(0.1, abort.set)
+        timer.start()
+        with pytest.raises(PipelineAborted):
+            q.get(abort)
+        timer.join()
+
+
+# ----------------------------------------------------------------------
+class TestWindowAssembler:
+    def test_record_mode_windows_partition_by_start_time(self):
+        wa = WindowAssembler(window_seconds=10.0)
+        recs = [record(t) for t in (1.0, 2.0, 11.0, 12.0, 25.0)]
+        windows = wa.process_records(recs)
+        windows += wa.drain()
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert [len(w) for w in windows] == [2, 2, 1]
+        for w in windows:
+            for r in w.records:
+                assert w.start <= r.start_time < w.end
+
+    def test_windows_sorted_by_start_time(self):
+        wa = WindowAssembler(window_seconds=10.0)
+        wa.process_records([record(3.0), record(1.0), record(2.0)])
+        (w,) = wa.drain()
+        assert [r.start_time for r in w.records] == [1.0, 2.0, 3.0]
+
+    def test_watermark_holds_window_until_lateness_passes(self):
+        wa = WindowAssembler(window_seconds=10.0, lateness=5.0)
+        # Clock 12 < end(0) + lateness: window 0 must stay open.
+        assert wa.process_records([record(1.0), record(12.0)]) == []
+        # Clock 15.1 pushes the watermark past end(0)=10.
+        windows = wa.process_records([record(15.1)])
+        assert [w.index for w in windows] == [0]
+
+    def test_late_record_rerouted_and_counted(self):
+        wa = WindowAssembler(window_seconds=10.0, lateness=0.0)
+        wa.process_records([record(5.0)])
+        windows = wa.process_records([record(25.0)])  # closes window 0
+        # Empty windows are never materialised: only window 0 comes out.
+        assert [w.index for w in windows] == [0]
+        assert [len(w) for w in windows] == [1]
+        late = record(3.0)  # belongs to the already-emitted window 0
+        rerouted = wa.process_records([late])
+        assert wa.late_flows == 1
+        # The late record rides in the next unemitted window instead of
+        # being dropped (here window 1, which the watermark has already
+        # passed, so it comes straight out).
+        assert any(late in w.records for w in rerouted + wa.drain())
+
+    def test_drain_flushes_open_flows_and_partial_window(self):
+        frames = TraceSource(
+            synthesizer=TraceSynthesizer(session_rate=30.0, seed=5),
+            duration=8.0,
+        ).frames()
+        packets = list(packets_from(iter(frames)))
+        wa = WindowAssembler(window_seconds=WINDOW)
+        windows = wa.process_packets(packets)
+        windows += wa.drain()
+        n_streamed = sum(len(w) for w in windows)
+        n_batch = len(list(assemble_flows(packets_from(iter(frames)))))
+        assert n_streamed == n_batch
+        assert wa.flows_out == n_batch
+
+    def test_auto_lateness_produces_no_late_flows(self):
+        frames = TraceSource(
+            synthesizer=TraceSynthesizer(session_rate=40.0, seed=6),
+            duration=15.0,
+        ).frames()
+        wa = WindowAssembler(window_seconds=2.5)
+        for i in range(0, len(frames), 100):
+            wa.process_packets(
+                list(packets_from(iter(frames[i : i + 100])))
+            )
+        wa.drain()
+        assert wa.late_flows == 0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowAssembler(window_seconds=0)
+
+
+# ----------------------------------------------------------------------
+class TestGraphAccumulator:
+    def test_incremental_graph_equals_batch_mapping(self):
+        frames = TraceSource(
+            synthesizer=TraceSynthesizer(session_rate=40.0, seed=8),
+            duration=12.0,
+        ).frames()
+        wa = WindowAssembler(window_seconds=WINDOW)
+        acc = GraphAccumulator()
+        windows = wa.process_packets(list(packets_from(iter(frames))))
+        windows += wa.drain()
+        for w in windows:
+            acc.fold(w)
+        live = acc.graph()
+
+        all_records = [r for w in windows for r in w.records]
+        batch = flow_table_to_property_graph(
+            FlowTable.from_records(all_records)
+        )
+        assert live.n_vertices == batch.n_vertices
+        assert live.n_edges == batch.n_edges
+        np.testing.assert_array_equal(live.src, batch.src)
+        np.testing.assert_array_equal(live.dst, batch.dst)
+        np.testing.assert_array_equal(
+            live.vertex_properties["ID"], batch.vertex_properties["ID"]
+        )
+        assert set(live.edge_properties) == set(batch.edge_properties)
+        for name, col in batch.edge_properties.items():
+            np.testing.assert_array_equal(
+                live.edge_properties[name], np.asarray(col)
+            )
+
+    def test_published_graph_is_immutable_under_growth(self):
+        acc = GraphAccumulator()
+        wa = WindowAssembler(window_seconds=10.0)
+        wa.process_records([record(1.0, src=1, dst=2)])
+        (w1,) = wa.drain()
+        g1 = acc.fold(w1)
+        src_before = g1.src.copy()
+        wa2 = WindowAssembler(window_seconds=10.0)
+        wa2.process_records(
+            [record(11.0, src=3, dst=4), record(12.0, src=5, dst=6)]
+        )
+        for w in wa2.drain():
+            acc.fold(w)
+        np.testing.assert_array_equal(g1.src, src_before)
+        assert acc.n_vertices == 6
+
+
+# ----------------------------------------------------------------------
+class TestPipeline:
+    def test_end_to_end_matches_batch(self):
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5), victim_ip=ipv4(10, 2, 0, 3),
+            start_time=1_000_006.0, duration=5.0,
+        )
+        source = make_source(duration=18.0, attacks_=[gt])
+        records, batch = batch_reference(source)
+        result = StreamPipeline(
+            source, detector=OnlineDetector(), window_seconds=WINDOW
+        ).run()
+        assert list(result.detections) == batch
+        assert result.stats.flows == len(records)
+        assert result.stats.late_flows == 0
+        assert result.graph is not None
+        assert result.graph.n_edges == len(records)
+
+    @pytest.mark.parametrize("window_seconds", [2.5, 5.0])
+    @pytest.mark.parametrize("queue_capacity", [1, 4])
+    def test_byte_identity_across_knobs(self, window_seconds, queue_capacity):
+        gt = attacks.udp_flood(
+            attacker_ip=ipv4(203, 0, 113, 8), victim_ip=ipv4(10, 2, 0, 5),
+            start_time=1_000_007.0,
+        )
+        source = make_source(duration=15.0, seed=23, attacks_=[gt])
+        _, batch = batch_reference(source)
+        result = StreamPipeline(
+            source,
+            detector=OnlineDetector(),
+            window_seconds=window_seconds,
+            queue_capacity=queue_capacity,
+        ).run()
+        assert list(result.detections) == batch
+        assert result.stats.late_flows == 0
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["syn_flood", "host_scan", "udp_flood", "icmp_flood"]
+                ),
+                st.floats(min_value=1.0, max_value=10.0),
+                st.floats(min_value=1.0, max_value=4.0),
+            ),
+            min_size=0,
+            max_size=3,
+        ),
+        window_seconds=st.sampled_from([2.0, 5.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_byte_identity_random_attack_schedules(
+        self, schedule, window_seconds, seed
+    ):
+        builders = {
+            "syn_flood": lambda t, d, i: attacks.syn_flood(
+                attacker_ip=ipv4(203, 0, 113, 10 + i),
+                victim_ip=ipv4(10, 2, 0, 2 + i),
+                start_time=t, duration=d, n_packets=400, seed=seed + i,
+            ),
+            "host_scan": lambda t, d, i: attacks.host_scan(
+                attacker_ip=ipv4(203, 0, 113, 10 + i),
+                victim_ip=ipv4(10, 2, 0, 2 + i),
+                start_time=t, duration=d, n_ports=120, seed=seed + i,
+            ),
+            "udp_flood": lambda t, d, i: attacks.udp_flood(
+                attacker_ip=ipv4(203, 0, 113, 10 + i),
+                victim_ip=ipv4(10, 2, 0, 2 + i),
+                start_time=t, duration=d, n_packets=500, seed=seed + i,
+            ),
+            "icmp_flood": lambda t, d, i: attacks.icmp_flood(
+                attacker_ip=ipv4(203, 0, 113, 10 + i),
+                victim_ip=ipv4(10, 2, 0, 2 + i),
+                start_time=t, duration=d, n_packets=500, seed=seed + i,
+            ),
+        }
+        gts = [
+            builders[kind](1_000_000.0 + offset, duration, i)
+            for i, (kind, offset, duration) in enumerate(schedule)
+        ]
+        source = make_source(
+            duration=12.0, rate=25.0, seed=seed, attacks_=gts,
+            batch_packets=128,
+        )
+        _, batch = batch_reference(
+            source, detector_kwargs={"cooldown_seconds": 5.0}
+        )
+        result = StreamPipeline(
+            source,
+            detector=OnlineDetector(cooldown_seconds=5.0),
+            window_seconds=window_seconds,
+            queue_capacity=2,
+        ).run()
+        assert list(result.detections) == batch
+        assert result.stats.late_flows == 0
+
+    def test_backpressure_bounds_queue_depth(self):
+        source = make_source(duration=15.0, batch_packets=64)
+        result = StreamPipeline(
+            source,
+            detector=OnlineDetector(),
+            window_seconds=2.5,
+            queue_capacity=2,
+            sink_delay_seconds=0.02,
+        ).run()
+        stats = result.stats
+        for q in stats.queues:
+            assert q.depth_high_water <= q.capacity
+        assert any(q.backpressure_stalls > 0 for q in stats.queues)
+        assert sum(q.stall_seconds for q in stats.queues) > 0
+
+    def test_stop_requests_early_clean_drain(self):
+        source = make_source(duration=30.0, batch_packets=32)
+        pipeline = StreamPipeline(
+            source, detector=OnlineDetector(), window_seconds=WINDOW,
+            queue_capacity=1, sink_delay_seconds=0.01,
+        )
+        timer = threading.Timer(0.2, pipeline.stop)
+        timer.start()
+        result = pipeline.run()
+        timer.join()
+        assert pipeline.stopped
+        # Fewer packets than the full trace, but the drain still ran:
+        # every assembled flow reached the sink.
+        full_packets = len(list(packets_from(iter(source.frames()))))
+        assert result.stats.packets < full_packets
+        assert result.stats.flows == result.stats.stage("sink").events_in
+
+    def test_query_server_swapped_per_window(self):
+        source = make_source(duration=12.0)
+        server = QueryServer(GraphAccumulator().graph(), threads=1)
+        epoch0 = server.epoch
+        result = StreamPipeline(
+            source, detector=OnlineDetector(), window_seconds=2.5,
+            server=server,
+        ).run()
+        assert result.windows > 0
+        assert server.epoch == epoch0 + result.windows
+        assert server.snapshot.graph.n_edges == result.graph.n_edges
+
+    def test_stage_error_propagates(self):
+        class BrokenSource:
+            attacks = ()
+
+            def batches(self):
+                yield Batch(kind="packets", items=())
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="source.*boom"):
+            StreamPipeline(BrokenSource(), window_seconds=WINDOW).run()
+
+    def test_pipeline_runs_once(self):
+        source = make_source(duration=2.0)
+        pipeline = StreamPipeline(source, window_seconds=WINDOW)
+        pipeline.run()
+        with pytest.raises(RuntimeError, match="runs once"):
+            pipeline.run()
+
+    def test_ground_truth_latencies_reported(self, tmp_path):
+        background = TraceSynthesizer(session_rate=40.0, seed=17)
+        gt = attacks.syn_flood(
+            attacker_ip=ipv4(203, 0, 113, 5), victim_ip=ipv4(10, 2, 0, 2),
+            start_time=1_000_008.0, duration=4.0,
+        )
+        clean = TraceSynthesizer(session_rate=40.0, seed=17).generate(
+            20.0, start_time=1_000_000.0
+        )
+        table = FlowTable.from_records(
+            sorted(
+                assemble_flows(packets_from(clean)),
+                key=lambda r: r.start_time,
+            )
+        )
+        thresholds = DetectionThresholds.fit_normal(
+            {k: table[k] for k in FlowTable.COLUMN_NAMES},
+            window_seconds=WINDOW,
+        )
+        source = TraceSource(
+            synthesizer=background, duration=20.0, attacks=(gt,)
+        )
+        result = StreamPipeline(
+            source,
+            detector=OnlineDetector(thresholds, window_seconds=WINDOW),
+            window_seconds=WINDOW,
+        ).run()
+        (lat,) = result.latencies
+        assert lat.kind == "syn_flood"
+        assert lat.detected
+        assert lat.seconds_to_detection is not None
+        assert 0 <= lat.seconds_to_detection < gt.end_time - gt.start_time + WINDOW
+
+
+# ----------------------------------------------------------------------
+class TestReplaySource:
+    def test_npz_replay_matches_live_flows(self, tmp_path):
+        source = make_source(duration=10.0, seed=31)
+        records = list(
+            assemble_flows(packets_from(iter(source.frames())))
+        )
+        table = FlowTable.from_records(records)
+        path = tmp_path / "flows.npz"
+        table.save_npz(path)
+
+        replay = ReplaySource(path, batch_packets=64)
+        result = StreamPipeline(
+            replay, detector=OnlineDetector(), window_seconds=WINDOW
+        ).run()
+        assert result.stats.flows == len(records)
+
+        det = OnlineDetector()
+        batch = list(
+            det.run(sorted(records, key=lambda r: r.start_time))
+        )
+        assert list(result.detections) == batch
+
+    def test_rejects_unknown_suffix(self, tmp_path):
+        bogus = tmp_path / "trace.txt"
+        bogus.write_text("nope")
+        with pytest.raises(ValueError, match="unsupported replay"):
+            ReplaySource(bogus)
+
+
+# ----------------------------------------------------------------------
+class TestQueueSentinel:
+    def test_close_drains_in_order(self):
+        q = BoundedQueue(4, name="t")
+        abort = threading.Event()
+        q.put(1, abort)
+        q.close(abort)
+        assert q.get(abort) == 1
+        assert q.get(abort) is CLOSE

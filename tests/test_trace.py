@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import _packets_from
+from repro.core.pipeline import packets_from
 from repro.netflow import Protocol, TcpState, assemble_flows
 from repro.trace import (
     HostPopulation,
@@ -95,14 +95,14 @@ class TestSynthesizer:
 
     def test_flows_parse_cleanly(self):
         frames = synthesize_seed_packets(duration=5.0, session_rate=30)
-        flows = list(assemble_flows(_packets_from(frames)))
+        flows = list(assemble_flows(packets_from(frames)))
         assert len(flows) > 20
         protos = {f.protocol for f in flows}
         assert Protocol.TCP in protos and Protocol.UDP in protos
 
     def test_tcp_sessions_complete(self):
         frames = synthesize_seed_packets(duration=5.0, session_rate=30)
-        flows = list(assemble_flows(_packets_from(frames)))
+        flows = list(assemble_flows(packets_from(frames)))
         tcp = [f for f in flows if f.protocol is Protocol.TCP]
         sf = sum(1 for f in tcp if f.state is TcpState.SF)
         # The vast majority of synthetic TCP sessions tear down cleanly
@@ -122,7 +122,7 @@ class TestAttacks:
             attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=50
         )
         assert len(gt.frames) == 50
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         assert all(f.state is TcpState.S0 for f in flows)
         assert all(f.out_pkts == 1 for f in flows)
 
@@ -130,7 +130,7 @@ class TestAttacks:
         gt = attacks.host_scan(
             attacker_ip=1, victim_ip=2, start_time=0.0, n_ports=100
         )
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         ports = {f.dst_port for f in flows}
         assert len(ports) == 100
 
@@ -140,7 +140,7 @@ class TestAttacks:
             start_time=0.0, n_hosts=60,
         )
         assert len(set(gt.victim_ips)) == 60
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         assert len({f.dst_ip for f in flows}) == 60
 
     def test_udp_flood_volume(self):
@@ -148,14 +148,14 @@ class TestAttacks:
             attacker_ip=1, victim_ip=2, start_time=0.0,
             n_packets=100, payload=1200,
         )
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         assert sum(f.out_bytes for f in flows) == 100 * 1200
 
     def test_icmp_flood_protocol(self):
         gt = attacks.icmp_flood(
             attacker_ip=1, victim_ip=2, start_time=0.0, n_packets=30
         )
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         assert all(f.protocol is Protocol.ICMP for f in flows)
 
     def test_ddos_multiple_sources(self):
@@ -165,7 +165,7 @@ class TestAttacks:
             packets_per_attacker=20,
         )
         assert gt.attacker_ips == ips
-        flows = list(assemble_flows(_packets_from(gt.frames)))
+        flows = list(assemble_flows(packets_from(gt.frames)))
         assert {f.src_ip for f in flows} == set(ips)
 
     def test_ddos_requires_attackers(self):
@@ -188,3 +188,59 @@ class TestAttacks:
         assert gt.start_time == 100.0
         assert gt.end_time == 105.0
         assert all(100.0 <= t <= 105.0 for t, _ in gt.frames)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            pytest.param(
+                lambda t, d: attacks.syn_flood(
+                    attacker_ip=1, victim_ip=2, start_time=t, duration=d
+                ),
+                id="syn_flood",
+            ),
+            pytest.param(
+                lambda t, d: attacks.host_scan(
+                    attacker_ip=1, victim_ip=2, start_time=t, duration=d
+                ),
+                id="host_scan",
+            ),
+            pytest.param(
+                lambda t, d: attacks.network_scan(
+                    attacker_ip=1, subnet_base=ipv4(10, 9, 0, 0),
+                    start_time=t, duration=d,
+                ),
+                id="network_scan",
+            ),
+            pytest.param(
+                lambda t, d: attacks.udp_flood(
+                    attacker_ip=1, victim_ip=2, start_time=t, duration=d
+                ),
+                id="udp_flood",
+            ),
+            pytest.param(
+                lambda t, d: attacks.icmp_flood(
+                    attacker_ip=1, victim_ip=2, start_time=t, duration=d
+                ),
+                id="icmp_flood",
+            ),
+            pytest.param(
+                lambda t, d: attacks.ddos_syn_flood(
+                    attacker_ips=(1, 2, 3), victim_ip=9,
+                    start_time=t, duration=d,
+                ),
+                id="ddos_syn_flood",
+            ),
+        ],
+    )
+    @pytest.mark.parametrize("start,duration", [(0.0, 5.0), (1_000_123.5, 7.25)])
+    def test_every_injector_interval_bounds_frames(
+        self, build, start, duration
+    ):
+        # The ground-truth interval is the time-to-detection reference:
+        # every injector's frames must fall inside [start, end].
+        gt = build(start, duration)
+        assert gt.start_time == start
+        assert gt.end_time == pytest.approx(start + duration)
+        assert gt.frames, "injector produced no frames"
+        for ts, _frame in gt.frames:
+            assert gt.start_time <= ts <= gt.end_time
