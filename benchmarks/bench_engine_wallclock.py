@@ -16,6 +16,14 @@ it from PR to PR via ``benchmarks/results/BENCH_engine.json``:
   transport breakdown (bytes on the wire, round trips, serialize and
   ipc-wait shares), asserting the cluster digest matches the pool digest
   bit for bit;
+* the pipelined, compressed wire against its own stop-and-wait baseline
+  (section ``cluster_transport``): PGPBA at in-flight depth 1 + wire
+  codec off (the pre-pipelining transport, reconstructed) versus the
+  shipping defaults (depth 2 + zlib), reporting wall vs the local pool,
+  raw-vs-wire bytes with the compression ratio, the dispatch overlap
+  fraction, and a prefetch micro-bench (chunk-streamed shuffle segments
+  with one background prefetch connection, hit rate reported) — digests
+  asserted to match the pool bit for bit in every configuration;
 * peak driver memory of ``distinct()`` under the hash-exchange shuffle
   versus the legacy collect-everything shuffle (tracemalloc peaks on the
   serial backend, so only the shuffle structure differs);
@@ -758,9 +766,170 @@ def run_cluster_transport(seed_bundle) -> dict:
     }
 
 
+def run_cluster_pipeline(seed_bundle) -> dict:
+    """The pipelined, compressed wire vs its own stop-and-wait baseline:
+    PGPBA wall clock at in-flight depth 1 + codec off (the PR 8
+    transport, reconstructed) against the shipping defaults (depth 2 +
+    zlib), with raw-vs-wire bytes, the overlap fraction and a prefetch
+    micro-bench.  Digests must match the local pool bit for bit."""
+    from repro.engine.cluster import (
+        BlockFetcher,
+        launch_worker,
+        shutdown_worker,
+        sockets_available,
+    )
+
+    if not sockets_available():
+        return {"skipped": "loopback sockets unavailable"}
+    graph, analysis = seed_bundle.graph, seed_bundle.analysis
+    size = max(_sizes())
+
+    def generate(ctx):
+        return PGPBA(fraction=2.0, seed=11).generate(
+            graph, analysis, size, context=ctx
+        )
+
+    with ClusterContext(
+        n_nodes=4, executor_cores=12, partition_multiplier=2,
+        executor="pool", local_workers=2,
+    ) as ctx:
+        result, pool_wall = measure_wall(lambda: generate(ctx))
+        pool_digest = _graph_digest(result.graph)
+
+    knob_vars = (
+        "REPRO_MAX_INFLIGHT", "REPRO_WIRE_CODEC", "REPRO_FETCH_PREFETCH"
+    )
+    configs = [
+        {"label": "stop-and-wait", "inflight": "1", "codec": "off"},
+        {"label": "pipelined+zlib", "inflight": "2", "codec": "zlib"},
+    ]
+    records: list[dict] = []
+    procs, addrs = [], []
+    saved = {v: os.environ.get(v) for v in knob_vars}
+    for _ in range(2):
+        proc, addr = launch_worker()
+        procs.append(proc)
+        addrs.append(addr)
+    try:
+        for cfg in configs:
+            os.environ["REPRO_MAX_INFLIGHT"] = cfg["inflight"]
+            os.environ["REPRO_WIRE_CODEC"] = cfg["codec"]
+            os.environ.pop("REPRO_FETCH_PREFETCH", None)
+            with ClusterContext(
+                n_nodes=4, executor_cores=12, partition_multiplier=2,
+                executor="cluster", workers=addrs,
+            ) as ctx:
+                result, wall = measure_wall(lambda: generate(ctx))
+                digest = _graph_digest(result.graph)
+                transport = ctx.metrics.transport_breakdown()
+            wire = int(transport["network_bytes"])
+            raw = int(transport["network_raw_bytes"])
+            records.append(
+                {
+                    "config": cfg["label"],
+                    "max_inflight": int(cfg["inflight"]),
+                    "wire_codec": cfg["codec"],
+                    "target_edges": size,
+                    "workers": 2,
+                    "wall_seconds": round(wall, 4),
+                    "cluster_over_pool": round(wall / pool_wall, 3)
+                    if pool_wall
+                    else None,
+                    "network_bytes": wire,
+                    "network_raw_bytes": raw,
+                    "compression_ratio": round(raw / wire, 3)
+                    if wire
+                    else None,
+                    "overlap_seconds": round(
+                        transport["overlap_seconds"], 4
+                    ),
+                    "overlap_fraction": round(
+                        transport["overlap_seconds"] / wall, 4
+                    )
+                    if wall
+                    else None,
+                    "round_trips": int(transport["round_trips"]),
+                    "digest": digest,
+                    "digest_matches_pool": digest == pool_digest,
+                }
+            )
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+        for addr in addrs:
+            shutdown_worker(addr)
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+    # Prefetch micro-bench: a chain of shuffle-named segments fetched in
+    # the order a reduce sweep would, with one background connection
+    # warming the predicted next segment.
+    import tempfile
+    import time as _time
+
+    n_segments = 8
+    prefetch = {"segments": n_segments}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fetch-") as tmp:
+        served = Path(tmp) / "served"
+        local = Path(tmp) / "local"
+        served.mkdir()
+        local.mkdir()
+        rng = np.random.default_rng(23)
+        for p in range(n_segments):
+            (served / f"es0-m0-d{p}.npz").write_bytes(
+                rng.integers(0, 255, 256 * 1024, dtype=np.uint8).tobytes()
+            )
+        proc, addr = launch_worker(roots=(served,))
+        fetcher = BlockFetcher([addr], prefetch=1)
+        try:
+            start = _time.perf_counter()
+            for p in range(n_segments):
+                assert fetcher(local / f"es0-m0-d{p}.npz") is True
+                deadline = _time.monotonic() + 5.0
+                while (
+                    _time.monotonic() < deadline
+                    and fetcher.prefetched <= p
+                    and p < n_segments - 1
+                ):
+                    _time.sleep(0.005)
+            prefetch.update(
+                {
+                    "wall_seconds": round(_time.perf_counter() - start, 4),
+                    "prefetched": fetcher.prefetched,
+                    "prefetch_hits": fetcher.prefetch_hits,
+                    "hit_rate": round(
+                        fetcher.prefetch_hits / n_segments, 3
+                    ),
+                }
+            )
+        finally:
+            fetcher.close()
+            shutdown_worker(addr)
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+    return {
+        "target_edges": size,
+        "pool_wall_seconds": round(pool_wall, 4),
+        "pool_digest": pool_digest,
+        "records": records,
+        "prefetch": prefetch,
+        "all_match": all(r["digest_matches_pool"] for r in records),
+    }
+
+
 def run_engine_wallclock(seed_bundle) -> dict:
     backends = run_backend_sweep(seed_bundle)
     cluster = run_cluster_transport(seed_bundle)
+    cluster_transport = run_cluster_pipeline(seed_bundle)
     shuffle = run_shuffle_memory()
     fusion = run_fusion_comparison()
     recovery = run_fault_recovery()
@@ -771,6 +940,7 @@ def run_engine_wallclock(seed_bundle) -> dict:
         "cpu_count": os.cpu_count(),
         "backends": backends,
         "cluster": cluster,
+        "cluster_transport": cluster_transport,
         "distinct_shuffle_memory": shuffle,
         "stage_fusion": fusion,
         "fault_recovery": recovery,
@@ -818,6 +988,42 @@ def run_engine_wallclock(seed_bundle) -> dict:
                 ],
                 cluster_rows,
             )
+        )
+    if "records" in cluster_transport:
+        pipe_rows = [
+            [
+                r["config"], r["max_inflight"], r["wire_codec"],
+                f"{r['wall_seconds']:.3f}",
+                f"{r['cluster_over_pool']:.2f}x",
+                f"{r['network_raw_bytes'] / 2**20:.1f}",
+                f"{r['network_bytes'] / 2**20:.1f}",
+                f"{r['compression_ratio']:.2f}x"
+                if r["compression_ratio"]
+                else "-",
+                f"{r['overlap_fraction']:.0%}"
+                if r["overlap_fraction"] is not None
+                else "-",
+                str(r["digest_matches_pool"]),
+            ]
+            for r in cluster_transport["records"]
+        ]
+        pf = cluster_transport["prefetch"]
+        print(
+            "\n== Cluster transport: pipelining + wire compression "
+            f"(PGPBA {cluster_transport['target_edges']:,} edges, "
+            f"pool baseline {cluster_transport['pool_wall_seconds']:.3f} "
+            "s) ==\n"
+            + format_table(
+                [
+                    "config", "inflight", "codec", "wall_s", "vs pool",
+                    "raw MiB", "wire MiB", "ratio", "overlap", "match",
+                ],
+                pipe_rows,
+            )
+            + "\nprefetch : "
+            f"{pf['prefetch_hits']}/{pf['segments']} segments served "
+            f"from the staging dict (hit rate {pf['hit_rate']:.0%}, "
+            f"{pf['wall_seconds']:.3f} s)"
         )
     print(
         "\n== distinct() peak driver memory "
@@ -1031,6 +1237,48 @@ def test_engine_wallclock(benchmark, seed_bundle):
         for r in cluster["records"]:
             assert r["network_bytes"] > 0
             assert r["round_trips"] > 0
+
+    # Pipelined transport: every configuration byte-identical to the
+    # pool, compression really shrinking the wire, and — with real cores
+    # and the full sizes — the defaults keeping the cluster within
+    # 1.25x of the local pool while zlib at least halves the bytes.
+    pipe = report["cluster_transport"]
+    if "records" in pipe:
+        assert pipe["all_match"], (
+            "pipelined cluster runs diverged from pool: "
+            + ", ".join(
+                r["config"]
+                for r in pipe["records"]
+                if not r["digest_matches_pool"]
+            )
+        )
+        by_config = {r["config"]: r for r in pipe["records"]}
+        baseline = by_config["stop-and-wait"]
+        shipped = by_config["pipelined+zlib"]
+        assert baseline["network_bytes"] == baseline["network_raw_bytes"]
+        assert shipped["network_bytes"] < shipped["network_raw_bytes"], (
+            "zlib wire codec produced no compression"
+        )
+        assert shipped["overlap_seconds"] >= 0.0
+        pf = pipe["prefetch"]
+        assert pf["prefetch_hits"] > 0, "prefetch never hit"
+        if not os.environ.get("REPRO_BENCH_SMOKE"):
+            # Hardware-independent: at the full PGPBA size the edge
+            # payloads compress far better than 2x (measured ~7x).
+            assert shipped["compression_ratio"] >= 2.0, (
+                f"zlib wire ratio {shipped['compression_ratio']:.2f}x, "
+                "expected >= 2x"
+            )
+        if (os.cpu_count() or 1) >= 4 and not os.environ.get(
+            "REPRO_BENCH_SMOKE"
+        ):
+            # With real cores the driver's compression and the daemons'
+            # compute overlap; on a starved host they serialize, so the
+            # wall target is gated like the other hardware asserts.
+            assert shipped["cluster_over_pool"] <= 1.25, (
+                f"pipelined cluster {shipped['cluster_over_pool']:.2f}x "
+                "over pool, expected <= 1.25x"
+            )
 
     # The exchange shuffle must beat the collect shuffle on driver memory.
     mem = report["distinct_shuffle_memory"]

@@ -459,9 +459,12 @@ def _cmd_engine_info(args) -> int:
              source(args.workers is not None, "REPRO_LOCAL_WORKERS")),
         ]
         if ctx.executor.name == "cluster":
+            from repro.engine.cluster import FETCH_PREFETCH_ENV_VAR
             from repro.engine.netproto import (
                 HEARTBEAT_INTERVAL_ENV_VAR,
                 HEARTBEAT_TIMEOUT_ENV_VAR,
+                MAX_INFLIGHT_ENV_VAR,
+                WIRE_CODEC_ENV_VAR,
             )
 
             rows += [
@@ -473,6 +476,16 @@ def _cmd_engine_info(args) -> int:
                  source(False, HEARTBEAT_INTERVAL_ENV_VAR)
                  if os.environ.get(HEARTBEAT_INTERVAL_ENV_VAR)
                  else source(False, HEARTBEAT_TIMEOUT_ENV_VAR)),
+                ("max in-flight",
+                 f"{ctx.executor.max_inflight} batches/link",
+                 source(False, MAX_INFLIGHT_ENV_VAR)),
+                ("wire codec", ctx.executor.wire_codec,
+                 source(False, WIRE_CODEC_ENV_VAR)),
+                ("fetch prefetch",
+                 (lambda n: f"{n} connections" if n else "off")(
+                     ctx.executor.fetch_prefetch
+                 ),
+                 source(False, FETCH_PREFETCH_ENV_VAR)),
             ]
         rows += [
             ("fusion", "on" if ctx.fusion_enabled else "off",

@@ -22,13 +22,21 @@ bit-identical to the fault-free run.
 
 from repro.engine.cluster import (
     CLUSTER_WORKERS_ENV_VAR,
+    FETCH_PREFETCH_ENV_VAR,
     BlockFetcher,
     ClusterExecutor,
     WorkerDaemon,
     launch_worker,
     resolve_cluster_workers,
+    resolve_fetch_prefetch,
     shutdown_worker,
     sockets_available,
+)
+from repro.engine.netproto import (
+    MAX_INFLIGHT_ENV_VAR,
+    WIRE_CODEC_ENV_VAR,
+    resolve_max_inflight,
+    resolve_wire_codec,
 )
 from repro.engine.context import ClusterContext
 from repro.engine.executor import (
@@ -99,11 +107,17 @@ __all__ = [
     "ClusterContext",
     "ArrayRDD",
     "CLUSTER_WORKERS_ENV_VAR",
+    "FETCH_PREFETCH_ENV_VAR",
+    "MAX_INFLIGHT_ENV_VAR",
+    "WIRE_CODEC_ENV_VAR",
     "BlockFetcher",
     "ClusterExecutor",
     "WorkerDaemon",
     "launch_worker",
     "resolve_cluster_workers",
+    "resolve_fetch_prefetch",
+    "resolve_max_inflight",
+    "resolve_wire_codec",
     "shutdown_worker",
     "sockets_available",
     "FUSION_ENV_VAR",

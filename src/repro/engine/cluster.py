@@ -21,7 +21,8 @@ workers=[...])`` / ``REPRO_WORKERS`` / ``--workers``)
     ``("run", blob, ...)`` cloudpickle batches as length-prefixed frames
     with large array buffers out-of-band (pickle protocol 5), and
     mirrors :class:`~repro.engine.executor.PoolExecutor`'s scheduling:
-    batches go only to idle links, workers report strictly in dispatch
+    each link holds a bounded window of in-flight batches
+    (``REPRO_MAX_INFLIGHT``), workers report strictly in dispatch
     order, a death blames the first unreported task with
     :class:`~repro.engine.executor.WorkerDied` and requeues the rest —
     so :func:`~repro.engine.executor.run_with_recovery` lineage
@@ -37,7 +38,18 @@ workers=[...])`` / ``REPRO_WORKERS`` / ``--workers``)
     for the file by name and materialising the bytes at the expected
     path — so reduce tasks pull shuffle segments worker-to-worker
     instead of through the driver.  Blocks travel as their on-disk
-    codec containers (PR 6), already compressed and checksummed.
+    codec containers (PR 6), already compressed and checksummed, and
+    stream as bounded chunks (RBLK01 chunk-table aligned when the file
+    is an RBLK container) instead of one whole-file frame; with
+    ``REPRO_FETCH_PREFETCH`` > 0, background connections pull the
+    *predicted next* shuffle segments while the current reduce task
+    computes, so fetch latency overlaps compute worker-to-worker.
+
+Transport performance (DESIGN.md §14): dispatch is pipelined — up to
+``REPRO_MAX_INFLIGHT`` batches ride each link so the driver serializes
+and ships batch N+1 while the daemon's task child computes batch N —
+and large out-of-band buffers are compressed with the handshake's
+negotiated wire codec (``REPRO_WIRE_CODEC``, zlib by default).
 
 Determinism: the cluster backend changes only *where* tasks run, never
 what they compute — digests and simulated stage records stay
@@ -53,6 +65,7 @@ import contextlib
 import multiprocessing as mp
 import os
 import pickle
+import re
 import select
 import socket
 import subprocess
@@ -80,30 +93,64 @@ from .executor import (
 )
 from .netproto import (
     PROTOCOL_VERSION,
+    WIRE_COMPRESS_MIN_BYTES,
     ProtocolError,
+    a_recv_frame,
     a_recv_message,
     a_send_message,
+    build_frame,
     client_handshake,
     connect,
+    decode_buffers,
+    negotiate_wire_codec,
     parse_address,
     recv_message,
     resolve_heartbeat_interval,
     resolve_heartbeat_timeout,
+    resolve_max_inflight,
+    resolve_wire_codec,
     send_message,
 )
 
 __all__ = [
     "CLUSTER_WORKERS_ENV_VAR",
+    "FETCH_PREFETCH_ENV_VAR",
     "ClusterExecutor",
     "WorkerDaemon",
     "BlockFetcher",
+    "predict_next_segments",
     "resolve_cluster_workers",
+    "resolve_fetch_prefetch",
     "sockets_available",
     "launch_worker",
     "shutdown_worker",
 ]
 
 CLUSTER_WORKERS_ENV_VAR = "REPRO_WORKERS"
+FETCH_PREFETCH_ENV_VAR = "REPRO_FETCH_PREFETCH"
+DEFAULT_FETCH_PREFETCH = 0
+
+
+def resolve_fetch_prefetch(value: "int | str | None" = None) -> int:
+    """Background block-prefetch connections per fetcher: explicit
+    argument > ``REPRO_FETCH_PREFETCH`` > 0 (off)."""
+    if value is None:
+        env = os.environ.get(FETCH_PREFETCH_ENV_VAR)
+        if env is None or not env.strip():
+            return DEFAULT_FETCH_PREFETCH
+        value = env
+    try:
+        count = int(str(value).strip())
+    except ValueError as exc:
+        raise ValueError(
+            f"{FETCH_PREFETCH_ENV_VAR} must be an integer >= 0, "
+            f"got {value!r}"
+        ) from exc
+    if count < 0:
+        raise ValueError(
+            f"{FETCH_PREFETCH_ENV_VAR} must be >= 0, got {count}"
+        )
+    return count
 
 
 def resolve_cluster_workers(
@@ -172,15 +219,53 @@ def _locate_block(roots: Sequence[str], name: str) -> "Path | None":
     return None
 
 
+# Shuffle segment names are sequential in their map/destination indices
+# (rdd.py): exchange members are ``ex{shuffle}-m{mapper}{ext}``, extsort
+# runs are ``es{shuffle}-m{mapper}-d{dest}{ext}``.  A reduce task that
+# just fetched one segment will very likely need the neighbouring ones
+# next — that locality is what the prefetcher exploits.
+_ES_SEGMENT = re.compile(r"^(es\d+-m)(\d+)(-d)(\d+)(\.[A-Za-z0-9.]+)$")
+_EX_SEGMENT = re.compile(r"^(ex\d+-m)(\d+)(\.[A-Za-z0-9.]+)$")
+
+
+def predict_next_segments(name: str) -> "list[str]":
+    """Shuffle segments likely to be fetched right after ``name``
+    (successor in the same run, same slot of the next mapper); empty
+    for names with no recognisable sequence."""
+    match = _ES_SEGMENT.match(name)
+    if match:
+        head, mapper, dsep, dest, ext = match.groups()
+        return [
+            f"{head}{mapper}{dsep}{int(dest) + 1}{ext}",
+            f"{head}{int(mapper) + 1}{dsep}{dest}{ext}",
+        ]
+    match = _EX_SEGMENT.match(name)
+    if match:
+        head, mapper, ext = match.groups()
+        return [f"{head}{int(mapper) + 1}{ext}"]
+    return []
+
+
 class BlockFetcher:
     """Missing-file resolver that pulls blocks from peer worker daemons.
 
     Installed via :func:`~repro.engine.storage.codecs.
     set_missing_file_resolver`; called with the path a reader wanted and
     did not find.  Asks each peer for the file by name over a cached
-    fetch connection and writes the bytes atomically at the expected
-    path (tmp file + rename, so concurrent readers never see a torn
-    block).  Returns True iff some peer had the block."""
+    fetch connection; the peer streams it as bounded chunks (RBLK
+    chunk-table aligned, wire-compressed above the size threshold) that
+    are written incrementally to a tmp file and renamed into place only
+    when the stream completes — a dropped connection mid-transfer leaves
+    no torn block *and no orphan tmp file*.  Returns True iff some peer
+    had the block.
+
+    With ``prefetch`` > 0 (``REPRO_FETCH_PREFETCH``), that many
+    background threads — each with its own fetch connections — pull the
+    segments :func:`predict_next_segments` names into an in-memory
+    staging dict, so the next reduce task's fetch is usually a local
+    memory copy (counted in ``prefetch_hits``)."""
+
+    _STAGE_MAX_ENTRIES = 32
 
     def __init__(
         self,
@@ -189,16 +274,39 @@ class BlockFetcher:
         exclude: Sequence[str] = (),
         timeout: float = 10.0,
         transport: Any = None,
+        wire_codec: "str | None" = None,
+        prefetch: "int | None" = None,
     ) -> None:
         skip = set(exclude)
         self.peers = [str(p) for p in peers if str(p) not in skip]
         self.timeout = timeout
         self.transport = transport
+        self.wire_codec = resolve_wire_codec(wire_codec)
+        self.prefetch = resolve_fetch_prefetch(prefetch)
         self.fetched = 0
         self.fetched_bytes = 0
         self.misses = 0
+        self.prefetched = 0
+        self.prefetch_hits = 0
         self._socks: dict[str, socket.socket] = {}
         self._lock = threading.Lock()
+        self._meter_lock = threading.Lock()
+        self._staged: dict[str, bytes] = {}
+        self._queue: deque = deque()
+        self._queue_cv = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        # Prefetch threads (and cached sockets) never survive a fork;
+        # each process lazily starts its own on first use.
+        self._threads_pid: "int | None" = None
+        self._closing = False
+
+    # -- connection plumbing -------------------------------------------
+    def _open(self, peer: str) -> socket.socket:
+        sock = connect(peer, timeout=self.timeout)
+        client_handshake(
+            sock, {"role": "fetch", "wire_codec": self.wire_codec}
+        )
+        return sock
 
     def _drop(self, peer: str) -> None:
         sock = self._socks.pop(peer, None)
@@ -206,49 +314,199 @@ class BlockFetcher:
             with contextlib.suppress(OSError):
                 sock.close()
 
-    def _request(self, peer: str, name: str) -> "tuple[bytes | None, int]":
-        """One fetch round-trip; returns (data | None, wire_bytes)."""
+    def _meter(self, wire: int, raw: int, trips: int) -> None:
+        if self.transport is None:
+            return
+        with self._meter_lock:
+            self.transport.network_bytes += wire
+            self.transport.network_raw_bytes += raw
+            self.transport.round_trips += trips
+
+    def _stream(self, sock: socket.socket, name: str, sink) -> bool:
+        """Request one block over an established fetch connection and
+        feed its chunks to ``sink``; True when the stream completed,
+        False when the peer doesn't have (or aborted) the block.  Raises
+        on connection trouble — the caller drops the socket, so a
+        partially-consumed stream can never desynchronise later
+        requests."""
+        wire = raw = trips = 0
+        try:
+            w, r = send_message(sock, ("fetch", name))
+            wire, raw, trips = wire + w, raw + r, trips + 1
+            while True:
+                reply = recv_message(sock)
+                if reply is None:
+                    raise ConnectionError(
+                        f"fetch peer closed the connection mid-stream "
+                        f"for {name!r}"
+                    )
+                obj, buffers, w, r = reply
+                wire, raw, trips = wire + w, raw + r, trips + 1
+                tag = obj[0]
+                if tag == "chunk":
+                    if buffers:
+                        sink(buffers[0])
+                    continue
+                if tag == "fetch-end":
+                    return True
+                if tag == "fetch-err":
+                    return False
+                raise ProtocolError(
+                    f"unexpected fetch reply {tag!r} for {name!r}"
+                )
+        finally:
+            self._meter(wire, raw, trips)
+
+    # -- foreground fetch ----------------------------------------------
+    def _materialise(self, path: Path, write) -> "int | None":
+        """Run ``write(fh)`` against a tmp file next to ``path`` and
+        rename it into place; the tmp file is unlinked on *any* failure
+        (dropped connections used to orphan these).  Returns the byte
+        count on success, None when the writer reported a miss."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.fetch-{os.getpid()}")
+        placed = False
+        try:
+            with open(tmp, "wb") as fh:
+                nbytes = write(fh)
+            if nbytes is not None:
+                os.replace(tmp, path)
+                placed = True
+            return nbytes
+        finally:
+            if not placed:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+
+    def _fetch_to(self, peer: str, name: str, path: Path) -> bool:
         sock = self._socks.get(peer)
         if sock is None:
-            sock = connect(peer, timeout=self.timeout)
-            client_handshake(sock, {"role": "fetch"})
+            sock = self._open(peer)
             self._socks[peer] = sock
-        wire = send_message(sock, ("fetch", name))
-        reply = recv_message(sock)
-        if reply is None:
-            raise ConnectionError(f"fetch peer {peer} closed the connection")
-        obj, buffers, nbytes = reply
-        wire += nbytes
-        if obj[0] == "blob" and buffers:
-            return buffers[0], wire
-        return None, wire  # ("fetch-err", reason): peer doesn't have it
+
+        def write(fh) -> "int | None":
+            total = 0
+
+            def sink(chunk: bytes) -> None:
+                nonlocal total
+                fh.write(chunk)
+                total += len(chunk)
+
+            return total if self._stream(sock, name, sink) else None
+
+        nbytes = self._materialise(path, write)
+        if nbytes is None:
+            return False
+        self.fetched_bytes += nbytes
+        return True
+
+    def _take_staged(self, name: str) -> "bytes | None":
+        with self._queue_cv:
+            return self._staged.pop(name, None)
 
     def __call__(self, path: "Path | str") -> bool:
         path = Path(path)
         name = path.name
         with self._lock:
+            staged = self._take_staged(name)
+            if staged is not None:
+                self._materialise(path, lambda fh: fh.write(staged) or len(staged))
+                self.fetched += 1
+                self.fetched_bytes += len(staged)
+                self.prefetch_hits += 1
+                self._enqueue_predictions(name)
+                return True
             for peer in list(self.peers):
                 try:
-                    data, wire = self._request(peer, name)
+                    hit = self._fetch_to(peer, name, path)
                 except (OSError, ConnectionError, ProtocolError, ValueError):
                     self._drop(peer)
                     continue
-                if self.transport is not None:
-                    self.transport.network_bytes += wire
-                    self.transport.round_trips += 2
-                if data is None:
-                    continue
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_name(f".{name}.fetch-{os.getpid()}")
-                tmp.write_bytes(data)
-                os.replace(tmp, path)
-                self.fetched += 1
-                self.fetched_bytes += len(data)
-                return True
+                if hit:
+                    self.fetched += 1
+                    self._enqueue_predictions(name)
+                    return True
             self.misses += 1
             return False
 
+    # -- background prefetch -------------------------------------------
+    def _enqueue_predictions(self, name: str) -> None:
+        if self.prefetch <= 0:
+            return
+        self._ensure_prefetch_threads()
+        with self._queue_cv:
+            for successor in predict_next_segments(name):
+                if successor in self._staged or successor in self._queue:
+                    continue
+                self._queue.append(successor)
+            self._queue_cv.notify_all()
+
+    def _ensure_prefetch_threads(self) -> None:
+        pid = os.getpid()
+        if self._threads_pid != pid:
+            self._threads = []
+            self._threads_pid = pid
+        while len(self._threads) < self.prefetch:
+            thread = threading.Thread(
+                target=self._prefetch_loop,
+                name=f"repro-prefetch-{len(self._threads)}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _prefetch_loop(self) -> None:
+        socks: dict[str, socket.socket] = {}
+        try:
+            while True:
+                with self._queue_cv:
+                    while not self._queue and not self._closing:
+                        self._queue_cv.wait(timeout=1.0)
+                    if self._closing:
+                        return
+                    name = self._queue.popleft()
+                    if name in self._staged:
+                        continue
+                chunks: list[bytes] = []
+                done = False
+                for peer in list(self.peers):
+                    sock = socks.get(peer)
+                    try:
+                        if sock is None:
+                            sock = self._open(peer)
+                            socks[peer] = sock
+                        done = self._stream(sock, name, chunks.append)
+                    except (
+                        OSError, ConnectionError, ProtocolError, ValueError
+                    ):
+                        dead = socks.pop(peer, None)
+                        if dead is not None:
+                            with contextlib.suppress(OSError):
+                                dead.close()
+                        chunks.clear()
+                        continue
+                    if done:
+                        break
+                    chunks.clear()
+                if not done:
+                    continue
+                with self._queue_cv:
+                    self._staged[name] = b"".join(chunks)
+                    self.prefetched += 1
+                    while len(self._staged) > self._STAGE_MAX_ENTRIES:
+                        self._staged.pop(next(iter(self._staged)))
+        finally:
+            for sock in socks.values():
+                with contextlib.suppress(OSError):
+                    sock.close()
+
     def close(self) -> None:
+        with self._queue_cv:
+            self._closing = True
+            self._queue_cv.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads = []
         with self._lock:
             for peer in list(self._socks):
                 self._drop(peer)
@@ -258,17 +516,24 @@ class BlockFetcher:
 # Worker daemon (the `repro worker --listen <addr>` server)
 # ----------------------------------------------------------------------
 
-def _daemon_child_main(conn: Any, inherited_fds: "tuple[int, ...]") -> None:
+def _daemon_child_main(
+    conn: Any, inherited_fds: "tuple[int, ...]", result_arenas: int = 1
+) -> None:
     """Task-child entry point: drop the daemon's inherited sockets
     before running the pool worker loop.  A fork child that keeps the
     listening fd would hold the port open after the daemon is killed —
     connects would land in a backlog nobody accepts — and a kept
     accepted-connection fd would stop the driver's socket from seeing
-    EOF when the daemon dies."""
+    EOF when the daemon dies.
+
+    ``result_arenas`` is the session's in-flight window: under
+    pipelined dispatch this child computes batch N+1 while the daemon
+    is still copying batch N's result buffers out to the driver socket,
+    so the result arena must be a ring as deep as the window."""
     for fd in inherited_fds:
         with contextlib.suppress(OSError):
             os.close(fd)
-    _pool_worker_main(conn)
+    _pool_worker_main(conn, result_arenas=result_arenas)
 
 
 def _pump_child(conn: Any, proc: Any, loop: Any, queue: Any) -> None:
@@ -291,16 +556,98 @@ def _pump_child(conn: Any, proc: Any, loop: Any, queue: Any) -> None:
         )
 
 
+async def _a_send_compressed(
+    writer: asyncio.StreamWriter,
+    obj: Any,
+    buffers: Sequence,
+    codec: str,
+) -> "tuple[int, int]":
+    """Send a frame, building (and compressing) it off the event loop
+    when a buffer is large enough for the codec to engage; small or
+    uncompressed frames skip the thread hop."""
+    if codec != "off" and any(
+        memoryview(buf).nbytes >= WIRE_COMPRESS_MIN_BYTES for buf in buffers
+    ):
+        parts, wire, raw = await asyncio.to_thread(
+            build_frame, obj, list(buffers), codec
+        )
+        for part in parts:
+            writer.write(bytes(part) if isinstance(part, memoryview) else part)
+        await writer.drain()
+        return wire, raw
+    return await a_send_message(writer, obj, buffers)
+
+
+def _fetch_chunk_plan(path: Path) -> "list[tuple[int, int]]":
+    """Spans to stream a served block file in: the RBLK01 chunk table
+    when the file is an RBLK container (each compressed payload chunk is
+    one frame, the footer rides the final span), fixed
+    ``REPRO_CODEC_CHUNK_BYTES`` slices otherwise."""
+    from .storage.codecs import _read_rblk_footer, resolve_codec_chunk_bytes
+
+    size = os.path.getsize(path)
+    if size == 0:
+        return []
+    spans: "list[tuple[int, int]]" = []
+    try:
+        with open(path, "rb") as fh:
+            footer = _read_rblk_footer(fh)
+        chunks = sorted(
+            (int(chunk[0]), int(chunk[1]))
+            for meta in footer["arrays"]
+            for chunk in meta["chunks"]
+        )
+        end = 0
+        for offset, length in chunks:
+            if offset != end:  # overlap/gap: fall back to fixed slicing
+                raise ValueError("non-contiguous chunk table")
+            spans.append((offset, length))
+            end = offset + length
+        if end > size:
+            raise ValueError("chunk table past EOF")
+        if end < size:
+            spans.append((end, size - end))  # JSON footer + magic tail
+        return spans
+    except (ValueError, KeyError, TypeError, OSError):
+        step = resolve_codec_chunk_bytes()
+        return [
+            (offset, min(step, size - offset))
+            for offset in range(0, size, step)
+        ]
+
+
+def _read_span(path: Path, offset: int, length: int) -> bytes:
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        return fh.read(length)
+
+
 class _DriverSession:
     """One driver connection's server-side state: a private task child
-    running :func:`_pool_worker_main` over a fork pipe, plus the arena
-    pair bridging socket frames to the pool wire protocol."""
+    running :func:`_pool_worker_main` over a fork pipe, plus the arenas
+    bridging socket frames to the pool wire protocol.
+
+    Pipelined dispatch needs one task arena per in-flight batch: the
+    child holds views into batch N's arena until it finishes computing
+    N, so recycling a single arena while shipping batch N+1 would
+    corrupt N's buffers mid-task.  The handshake's ``max_inflight``
+    sizes a ring of arenas cycled per dispatch — the driver never has
+    more than that many batches outstanding, so by the time a slot
+    comes around again its previous batch has fully replied."""
 
     def __init__(self, daemon: "WorkerDaemon", config: dict, loop) -> None:
         self.daemon = daemon
         self.loop = loop
         self.queue: asyncio.Queue = asyncio.Queue()
-        self.task_arena = _Arena()
+        window = max(1, min(int(config.get("max_inflight") or 1), 64))
+        self.task_arenas = [_Arena() for _ in range(window)]
+        self._dispatch_seq = 0
+        # Task-child deaths reported to the driver so far.  A run frame
+        # stamped with a lower epoch was dispatched by the driver before
+        # it learned of the death — the driver has already requeued those
+        # tasks, so executing the frame here would double-run them.
+        self.child_deaths = 0
+        self.wire_codec = negotiate_wire_codec(config.get("wire_codec"))
         self.reader = _ArenaReader()
         self.proc: Any = None
         self.conn: Any = None
@@ -316,7 +663,10 @@ class _DriverSession:
             from .storage.codecs import set_missing_file_resolver
 
             self._fetcher = BlockFetcher(
-                peers, exclude=(daemon.bound_address or "",)
+                peers,
+                exclude=(daemon.bound_address or "",),
+                wire_codec=self.wire_codec,
+                prefetch=config.get("fetch_prefetch"),
             )
             self._previous_resolver = set_missing_file_resolver(self._fetcher)
             self._had_resolver = True
@@ -328,7 +678,11 @@ class _DriverSession:
         parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
         proc = self._mp_ctx.Process(
             target=_daemon_child_main,
-            args=(child_conn, self.daemon.child_close_fds()),
+            args=(
+                child_conn,
+                self.daemon.child_close_fds(),
+                len(self.task_arenas),
+            ),
             daemon=True,
         )
         proc.start()
@@ -344,14 +698,21 @@ class _DriverSession:
     def dispatch(self, blob: bytes, buffers: Sequence[bytes]) -> None:
         """Forward one ("run", blob)+buffers frame to the task child as
         a pool-protocol batch: out-of-band socket buffers become task
-        arena descriptors the child maps by name."""
-        if self.proc is None or not self.proc.is_alive():
-            self._retire_child()
+        arena descriptors the child maps by name.  Arenas come from the
+        in-flight ring — the slot being recycled belongs to a batch the
+        driver has fully collected (see the class docstring).
+
+        Only a retired child (``proc is None``) triggers a respawn: a
+        child that is dead but not yet reported must NOT be replaced
+        here, or a batch the driver still counts against the dead child
+        would run on the new one.  Writes to the dead pipe are simply
+        lost — the driver requeues them when the death report lands."""
+        if self.proc is None:
             self._spawn_child()
-        self.task_arena.recycle()
-        descriptors = [
-            self.task_arena.write(memoryview(buf)) for buf in buffers
-        ]
+        arena = self.task_arenas[self._dispatch_seq % len(self.task_arenas)]
+        self._dispatch_seq += 1
+        arena.recycle()
+        descriptors = [arena.write(memoryview(buf)) for buf in buffers]
         try:
             self.conn.send(("run", blob, descriptors))
             self.daemon.batches_dispatched += 1
@@ -363,7 +724,10 @@ class _DriverSession:
     async def pump_replies(self, writer: asyncio.StreamWriter) -> None:
         """Forward child replies to the driver socket.  Result arena
         views are copied to bytes immediately — the child recycles its
-        arena on the next batch, the socket frame must outlive that."""
+        arena on the next batch, the socket frame must outlive that.
+        Frames with compressible payloads are built in a worker thread
+        so multi-megabyte zlib passes never stall the event loop (which
+        must keep answering heartbeat pings)."""
         while True:
             msg = await self.queue.get()
             tag = msg[0]
@@ -373,12 +737,16 @@ class _DriverSession:
                     bytes(self.reader.view(*descriptor))
                     for descriptor in descriptors
                 ]
-                await a_send_message(
-                    writer, ("ok", key, payload, duration), buffers
+                await _a_send_compressed(
+                    writer,
+                    ("ok", key, payload, duration),
+                    buffers,
+                    self.wire_codec,
                 )
             elif tag == "err":
                 await a_send_message(writer, ("err", msg[1], msg[2], msg[3]))
             elif tag == "__died__":
+                self.child_deaths += 1
                 self._retire_child()
                 self.daemon.children_died += 1
                 await a_send_message(writer, ("died", msg[1]))
@@ -405,7 +773,8 @@ class _DriverSession:
             with contextlib.suppress(OSError, ValueError):
                 self.conn.send(("stop",))
         self._retire_child()
-        self.task_arena.destroy()
+        for arena in self.task_arenas:
+            arena.destroy()
         if self._fetcher is not None:
             self._fetcher.close()
         if self._had_resolver:
@@ -500,7 +869,7 @@ class WorkerDaemon:
             frame = await a_recv_message(reader)
             if frame is None:
                 return
-            obj, _buffers, _nbytes = frame
+            obj, _buffers, _wire, _raw = frame
             if not (
                 isinstance(obj, tuple) and len(obj) >= 3 and obj[0] == "hello"
             ):
@@ -521,16 +890,21 @@ class WorkerDaemon:
                 return
             for root in config.get("spill_roots", ()):
                 self.served_roots.add(str(root))
+            agreed_codec = negotiate_wire_codec(config.get("wire_codec"))
             await a_send_message(
                 writer,
                 (
                     "hello-ok",
                     PROTOCOL_VERSION,
-                    {"pid": os.getpid(), "roots": len(self.served_roots)},
+                    {
+                        "pid": os.getpid(),
+                        "roots": len(self.served_roots),
+                        "wire_codec": agreed_codec,
+                    },
                 ),
             )
             if config.get("role") == "fetch":
-                await self._serve_fetch(reader, writer)
+                await self._serve_fetch(reader, writer, agreed_codec)
             else:
                 self.sessions_served += 1
                 await self._serve_driver(reader, writer, config)
@@ -543,13 +917,21 @@ class WorkerDaemon:
                 await writer.wait_closed()
 
     async def _serve_fetch(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec: str = "off",
     ) -> None:
+        """Serve block files as streams of bounded chunk frames: one
+        frame per RBLK payload chunk (fixed-size slices for non-RBLK
+        files), wire-compressed per the negotiated codec, terminated by
+        ``fetch-end``.  File reads and frame compression run in worker
+        threads, so slow disks never stall the daemon's event loop."""
         while True:
             frame = await a_recv_message(reader)
             if frame is None:
                 return
-            obj, _buffers, _nbytes = frame
+            obj, _buffers, _wire, _raw = frame
             if obj[0] != "fetch":
                 await a_send_message(
                     writer, ("fetch-err", f"unexpected message {obj[0]!r}")
@@ -568,9 +950,27 @@ class WorkerDaemon:
                     ),
                 )
                 continue
-            data = await asyncio.to_thread(path.read_bytes)
+            try:
+                plan = await asyncio.to_thread(_fetch_chunk_plan, path)
+                total = 0
+                for seq, (offset, length) in enumerate(plan):
+                    data = await asyncio.to_thread(
+                        _read_span, path, offset, length
+                    )
+                    await _a_send_compressed(
+                        writer, ("chunk", name, seq), [data], codec
+                    )
+                    total += length
+            except OSError as exc:
+                # The file vanished or turned unreadable mid-stream
+                # (e.g. a concurrent spill eviction): abort the stream.
+                # The client discards the partial tmp file.
+                await a_send_message(
+                    writer, ("fetch-err", f"read failed for {name!r}: {exc}")
+                )
+                continue
             self.blocks_served += 1
-            await a_send_message(writer, ("blob", name), [data])
+            await a_send_message(writer, ("fetch-end", name, total))
 
     async def _serve_driver(
         self,
@@ -578,29 +978,58 @@ class WorkerDaemon:
         writer: asyncio.StreamWriter,
         config: dict,
     ) -> None:
+        """Bridge one driver connection to its task child.
+
+        The recv loop only parses frames and answers pings; ``run``
+        frames are handed — still compressed — to a single dispatcher
+        task that decompresses them in a worker thread and forwards them
+        to the child in arrival order.  Decoupling the two keeps
+        heartbeat pongs prompt while a large batch inflates, which is
+        what stops the driver's timeout sweep from declaring this daemon
+        dead under heavy pipelined dispatch."""
         loop = asyncio.get_running_loop()
         session = _DriverSession(self, config, loop)
         pump = asyncio.ensure_future(session.pump_replies(writer))
+        runs: asyncio.Queue = asyncio.Queue()
+
+        async def _dispatch_runs() -> None:
+            while True:
+                blob, epoch, entries = await runs.get()
+                if epoch < session.child_deaths:
+                    # Stamped before a death the driver has since been
+                    # told about: the driver requeued these tasks, so
+                    # running them here would double-execute them (and
+                    # desync its strict-order reply accounting).
+                    continue
+                if any(codec_id for codec_id, _payload, _raw in entries):
+                    buffers = await asyncio.to_thread(decode_buffers, entries)
+                else:
+                    buffers = [payload for _cid, payload, _raw in entries]
+                session.dispatch(blob, buffers)
+
+        dispatcher = asyncio.ensure_future(_dispatch_runs())
         try:
             while True:
-                frame = await a_recv_message(reader)
+                frame = await a_recv_frame(reader)
                 if frame is None:
                     break
-                obj, buffers, _nbytes = frame
+                obj, entries, _wire, _raw = frame
                 tag = obj[0]
                 if tag == "ping":
                     await a_send_message(writer, ("pong", obj[1]))
                 elif tag == "run":
-                    session.dispatch(obj[1], buffers)
+                    epoch = obj[2] if len(obj) > 2 else 0
+                    runs.put_nowait((obj[1], epoch, entries))
                 elif tag == "stop":
                     break
                 elif tag == "shutdown":
                     self.request_stop()
                     break
         finally:
-            pump.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await pump
+            for task in (dispatcher, pump):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
             session.close()
 
 
@@ -686,14 +1115,17 @@ class _Link:
     """Driver-side record of one connected worker daemon."""
 
     __slots__ = (
-        "spec", "sock", "assigned", "batch_started", "last_heard",
-        "last_ping",
+        "spec", "sock", "assigned", "batch_sizes", "wire_codec", "epoch",
+        "batch_started", "last_heard", "last_ping",
     )
 
     def __init__(self, spec: str, sock: socket.socket) -> None:
         self.spec = spec
         self.sock = sock
         self.assigned: deque = deque()  # of (key, is_backup), dispatch order
+        self.batch_sizes: deque = deque()  # unreported tasks per in-flight batch
+        self.wire_codec = "off"  # what the daemon agreed to in hello-ok
+        self.epoch = 0  # task-child generation: +1 per ("died", ...) seen
         self.batch_started = 0.0
         now = time.monotonic()
         self.last_heard = now
@@ -704,12 +1136,15 @@ class ClusterExecutor(Executor):
     """Socket driver for remote worker daemons — the pool backend's
     scheduling contract over TCP/unix sockets.
 
-    Batches ship only to idle links; each daemon's task child reports
-    strictly in dispatch order, so a link loss blames exactly the first
-    unreported task (:class:`WorkerDied`) and requeues the rest — the
-    same recovery surface the pool exposes, which is what lets
-    :func:`run_with_recovery` and deterministic fault injection work
-    unchanged.  Two loss detectors: socket EOF/reset, and a heartbeat
+    Dispatch is pipelined: every link carries up to ``max_inflight``
+    batches (``REPRO_MAX_INFLIGHT``, default 2), so the driver
+    serializes, compresses and ships batch N+1 while the daemon's task
+    child computes batch N.  Each daemon's task child still reports
+    strictly in dispatch order across the whole window, so a link loss
+    blames exactly the first unreported task (:class:`WorkerDied`) and
+    requeues the rest — the same recovery surface the pool exposes,
+    which is what lets :func:`run_with_recovery` and deterministic
+    fault injection work unchanged.  Two loss detectors: socket EOF/reset, and a heartbeat
     (ping every ``heartbeat_interval`` seconds to each busy link, dead
     after ``heartbeat_timeout`` seconds of silence).  A daemon whose
     *task child* died (e.g. an injected ``os._exit`` kill) reports
@@ -731,6 +1166,9 @@ class ClusterExecutor(Executor):
         heartbeat_interval: "float | None" = None,
         heartbeat_timeout: "float | None" = None,
         connect_timeout: float = 10.0,
+        max_inflight: "int | None" = None,
+        wire_codec: "str | None" = None,
+        fetch_prefetch: "int | None" = None,
     ) -> None:
         if _cloudpickle is None:
             raise ValueError(
@@ -745,6 +1183,9 @@ class ClusterExecutor(Executor):
         )
         self.heartbeat_timeout = resolve_heartbeat_timeout(heartbeat_timeout)
         self.connect_timeout = connect_timeout
+        self.max_inflight = resolve_max_inflight(max_inflight)
+        self.wire_codec = resolve_wire_codec(wire_codec)
+        self.fetch_prefetch = resolve_fetch_prefetch(fetch_prefetch)
         self._links: list[_Link] = []
         self._lost: list[str] = []
         self._spill_roots: set[str] = set()
@@ -767,17 +1208,22 @@ class ClusterExecutor(Executor):
             "role": "driver",
             "peers": list(self.addresses),
             "spill_roots": sorted(self._spill_roots),
+            "max_inflight": self.max_inflight,
+            "wire_codec": self.wire_codec,
+            "fetch_prefetch": self.fetch_prefetch,
         }
 
     def _connect_link(self, spec: str) -> _Link:
         sock = connect(spec, timeout=self.connect_timeout)
         try:
-            client_handshake(sock, self._handshake_config())
+            info = client_handshake(sock, self._handshake_config())
         except BaseException:
             with contextlib.suppress(OSError):
                 sock.close()
             raise
-        return _Link(spec, sock)
+        link = _Link(spec, sock)
+        link.wire_codec = negotiate_wire_codec(info.get("wire_codec"))
+        return link
 
     def _ensure_links(self) -> None:
         initial = not self._links and not self._lost
@@ -805,7 +1251,10 @@ class ClusterExecutor(Executor):
             from .storage.codecs import set_missing_file_resolver
 
             self._fetcher = BlockFetcher(
-                self.addresses, transport=self.transport
+                self.addresses,
+                transport=self.transport,
+                wire_codec=self.wire_codec,
+                prefetch=self.fetch_prefetch,
             )
             self._previous_resolver = set_missing_file_resolver(self._fetcher)
 
@@ -834,6 +1283,10 @@ class ClusterExecutor(Executor):
         """Ship one batch over a link; False if the link is gone (the
         caller requeues the entries and drops the link)."""
         serialize_started = time.perf_counter()
+        # Serialize/compress time spent while any worker already holds a
+        # batch is overlapped with remote compute — that overlap is the
+        # payoff of pipelined dispatch, metered in overlap_seconds.
+        overlapped = any(other.assigned for other in self._links)
         payload = [(key, fn) for key, fn, _ in entries]
         buffers: list = []
 
@@ -854,19 +1307,33 @@ class ClusterExecutor(Executor):
         )
         send_started = time.perf_counter()
         try:
-            wire = send_message(link.sock, ("run", blob), buffers)
+            # The epoch stamps this batch with how many task-child deaths
+            # the driver has processed on this link; the daemon drops any
+            # batch stamped before its own death count, so a batch that
+            # was in flight when the child died (already blamed and
+            # requeued here) can never also run on the replacement child.
+            wire, raw_wire = send_message(
+                link.sock,
+                ("run", blob, link.epoch),
+                buffers,
+                codec=link.wire_codec,
+            )
         except (OSError, ValueError):
             return False
         now = time.perf_counter()
         self.transport.serialize_seconds += send_started - serialize_started
         self.transport.submit_seconds += now - send_started
+        if overlapped:
+            self.transport.overlap_seconds += now - serialize_started
         self.transport.payload_bytes += len(blob) + sum(
             buf.nbytes for buf in buffers
         )
         self.transport.network_bytes += wire
+        self.transport.network_raw_bytes += raw_wire
         self.transport.round_trips += 1
         for key, _fn, is_backup in entries:
             link.assigned.append((key, is_backup))
+        link.batch_sizes.append(len(entries))
         link.batch_started = time.monotonic()
         self.batches_sent += 1
         return True
@@ -895,23 +1362,37 @@ class ClusterExecutor(Executor):
         while any(o is None for o in outcomes):
             live = max(1, len(self._links))
             limit = self.task_batch or max(1, -(-n // (2 * live)))
-            for link in list(self._links):
-                if link.assigned or not pending:
-                    continue
-                entries = []
-                while pending and len(entries) < limit:
-                    i = pending.popleft()
-                    if outcomes[i] is None:
-                        entries.append((i, tasks[i], False))
-                if not entries:
-                    continue
-                if not self._send_batch(link, entries):
-                    pending.extendleft(
-                        key for key, _fn, _b in reversed(entries)
-                    )
-                    self._fail_link(
-                        link, "send failed", outcomes, held_errors, pending
-                    )
+            # Breadth-first feed: give every link one batch per pass
+            # (not one link its whole window) so early batches spread
+            # across daemons, then keep topping up until every link
+            # holds max_inflight batches or the queue drains.  Batch
+            # N+1 ships while a worker computes batch N — serialize and
+            # compute overlap instead of alternating.
+            fed = True
+            while fed and pending:
+                fed = False
+                for link in list(self._links):
+                    if not pending:
+                        break
+                    if len(link.batch_sizes) >= self.max_inflight:
+                        continue
+                    entries = []
+                    while pending and len(entries) < limit:
+                        i = pending.popleft()
+                        if outcomes[i] is None:
+                            entries.append((i, tasks[i], False))
+                    if not entries:
+                        continue
+                    if self._send_batch(link, entries):
+                        fed = True
+                    else:
+                        pending.extendleft(
+                            key for key, _fn, _b in reversed(entries)
+                        )
+                        self._fail_link(
+                            link, "send failed",
+                            outcomes, held_errors, pending,
+                        )
             busy = [link for link in self._links if link.assigned]
             if not busy:
                 if self._links:
@@ -999,9 +1480,10 @@ class ClusterExecutor(Executor):
                     outcomes, held_errors, pending,
                 )
                 return
-            obj, buffers, nbytes = frame
+            obj, buffers, wire, raw_wire = frame
             link.last_heard = time.monotonic()
-            self.transport.network_bytes += nbytes
+            self.transport.network_bytes += wire
+            self.transport.network_raw_bytes += raw_wire
             self.transport.round_trips += 1
             tag = obj[0]
             if tag == "pong":
@@ -1024,9 +1506,15 @@ class ClusterExecutor(Executor):
         held_errors: dict,
         durations: list[float],
     ) -> None:
-        # Task children process and report strictly in dispatch order.
+        # Task children process and report strictly in dispatch order —
+        # across the whole in-flight window, so the head batch drains
+        # before the next batch's first reply can arrive.
         if link.assigned:
             link.assigned.popleft()
+        if link.batch_sizes:
+            link.batch_sizes[0] -= 1
+            if link.batch_sizes[0] <= 0:
+                link.batch_sizes.popleft()
         link.batch_started = time.monotonic()
         key = obj[1]
         if obj[0] == "ok":
@@ -1061,13 +1549,18 @@ class ClusterExecutor(Executor):
         """Shared death bookkeeping: the first unreported assigned task
         was in progress and takes the blame; the rest never started and
         are requeued (same wrapped callables — fault verdicts are per
-        (batch, index, attempt), not per dispatch)."""
+        (batch, index, attempt), not per dispatch).  Under pipelining
+        the rule is unchanged: replies are strictly ordered across the
+        whole in-flight window, so the first unreported task — whichever
+        batch it rode in on — is the one that was in progress."""
         if not link.assigned:
+            link.batch_sizes.clear()
             return
         blamed_key, _blamed_backup = link.assigned.popleft()
         held_errors.setdefault(blamed_key, error_for(blamed_key))
         unstarted = list(link.assigned)
         link.assigned.clear()
+        link.batch_sizes.clear()
         for key, is_backup in unstarted:
             if outcomes[key] is not None:
                 continue
@@ -1091,6 +1584,7 @@ class ClusterExecutor(Executor):
         """The daemon's task child died (e.g. an injected kill); the
         daemon itself is fine and stays in the ring."""
         self.children_died += 1
+        link.epoch += 1  # mirrors the daemon's death count exactly
         self._blame_and_requeue(
             link,
             lambda key: WorkerDied(
@@ -1153,7 +1647,7 @@ class ClusterExecutor(Executor):
                 continue
             if now - link.last_ping >= self.heartbeat_interval:
                 try:
-                    wire = send_message(link.sock, ("ping", now))
+                    wire, raw_wire = send_message(link.sock, ("ping", now))
                 except (OSError, ValueError):
                     self._fail_link(
                         link, "ping failed", outcomes, held_errors, pending
@@ -1161,6 +1655,7 @@ class ClusterExecutor(Executor):
                     continue
                 link.last_ping = now
                 self.transport.network_bytes += wire
+                self.transport.network_raw_bytes += raw_wire
                 self.transport.round_trips += 1
 
     def _maybe_speculate(

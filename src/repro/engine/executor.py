@@ -237,9 +237,17 @@ class TransportProfile:
         directions — zero for every local backend, the wire total for
         the cluster backend (task batches, results, heartbeats, remote
         block fetches).
+    ``network_raw_bytes``
+        The same traffic *before* wire compression (cluster-only).
+        Equal to ``network_bytes`` when ``REPRO_WIRE_CODEC=off``;
+        the gap between the two is the compression saving.
     ``round_trips``
         Framed socket messages exchanged (again cluster-only): batch
         dispatches, result/err replies, ping/pong pairs, fetches.
+    ``overlap_seconds``
+        Driver serialize/send time spent while at least one other link
+        already had work in flight (cluster-only) — the pipelining win:
+        wall clock the dispatch path hid behind remote compute.
     """
 
     submit_seconds: float = 0.0
@@ -248,7 +256,9 @@ class TransportProfile:
     compute_seconds: float = 0.0
     payload_bytes: int = 0
     network_bytes: int = 0
+    network_raw_bytes: int = 0
     round_trips: int = 0
+    overlap_seconds: float = 0.0
 
     def reset(self) -> None:
         self.submit_seconds = 0.0
@@ -257,7 +267,9 @@ class TransportProfile:
         self.compute_seconds = 0.0
         self.payload_bytes = 0
         self.network_bytes = 0
+        self.network_raw_bytes = 0
         self.round_trips = 0
+        self.overlap_seconds = 0.0
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -267,7 +279,9 @@ class TransportProfile:
             "compute_seconds": self.compute_seconds,
             "payload_bytes": self.payload_bytes,
             "network_bytes": self.network_bytes,
+            "network_raw_bytes": self.network_raw_bytes,
             "round_trips": self.round_trips,
+            "overlap_seconds": self.overlap_seconds,
         }
 
 
@@ -959,7 +973,11 @@ class _ArenaReader:
 
     def view(self, name: str, offset: int, nbytes: int):
         seg = self.segments.get(name)
-        if seg is None:
+        if seg is None or seg.buf is None:
+            # seg.buf is None for a mapping a previous prune half-closed:
+            # SharedMemory.close() releases its memoryview before closing
+            # the mmap, so a BufferError from live views leaves the object
+            # unusable but cached.  Re-attach by name.
             seg = shared_memory.SharedMemory(name=name)
             self.segments[name] = seg
         return seg.buf[offset : offset + nbytes]
@@ -1033,7 +1051,9 @@ def _own_tree(obj: Any) -> Any:
     return obj
 
 
-def _pool_worker_main(conn: mp_connection.Connection) -> None:
+def _pool_worker_main(
+    conn: mp_connection.Connection, result_arenas: int = 1
+) -> None:
     """Long-lived worker body: loop over task batches until "stop".
 
     One ``("run", blob, descriptors)`` message carries a whole batch of
@@ -1046,9 +1066,18 @@ def _pool_worker_main(conn: mp_connection.Connection) -> None:
     segments it leaves behind are unlinked by the driver (it learned
     their names from earlier result descriptors) or, as a last resort,
     by the shared resource tracker at interpreter exit.
+
+    ``result_arenas`` sizes a ring of result arenas cycled per batch.
+    The pool's strict alternation (the driver copies a batch's results
+    out before dispatching the next one) only needs 1.  A pipelined
+    peer — the cluster daemon — may still be copying batch N's result
+    buffers while this worker computes batch N+1, so it passes its
+    in-flight window: recycling a slot is then safe because the peer
+    never dispatches batch N+W before batch N is fully drained.
     """
     reader = _ArenaReader()
-    arena = _Arena()
+    arenas = [_Arena() for _ in range(max(1, result_arenas))]
+    batch_seq = 0
     status = 0
     try:
         while True:
@@ -1056,6 +1085,8 @@ def _pool_worker_main(conn: mp_connection.Connection) -> None:
             if msg[0] == "stop":
                 break
             _tag, blob, descriptors = msg
+            arena = arenas[batch_seq % len(arenas)]
+            batch_seq += 1
             arena.recycle()
             reader.prune({descriptor[0] for descriptor in descriptors})
             items = _load_with_arena(blob, descriptors, reader)
@@ -1092,7 +1123,8 @@ def _pool_worker_main(conn: mp_connection.Connection) -> None:
     except BaseException:  # pragma: no cover - unexpected protocol error
         status = 1
     finally:
-        arena.destroy()
+        for arena in arenas:
+            arena.destroy()
         reader.close()
         try:
             conn.close()

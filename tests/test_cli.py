@@ -146,6 +146,37 @@ class TestEngineInfo:
         assert "[env REPRO_EXECUTOR]" in out
         assert str(tmp_path) in out
 
+    def test_cluster_transport_knob_rows(self, monkeypatch, capsys):
+        # No daemons needed: the cluster executor connects lazily, and
+        # engine-info only resolves knobs.
+        monkeypatch.setenv("REPRO_EXECUTOR", "cluster")
+        monkeypatch.setenv("REPRO_WORKERS", "127.0.0.1:42701,127.0.0.1:42702")
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT", "3")
+        monkeypatch.setenv("REPRO_WIRE_CODEC", "lzma")
+        monkeypatch.setenv("REPRO_FETCH_PREFETCH", "2")
+        rc = main(["engine-info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max in-flight" in out and "3 batches/link" in out
+        assert "[env REPRO_MAX_INFLIGHT]" in out
+        assert "wire codec" in out and "lzma" in out
+        assert "[env REPRO_WIRE_CODEC]" in out
+        assert "fetch prefetch" in out and "2 connections" in out
+        assert "[env REPRO_FETCH_PREFETCH]" in out
+
+    def test_cluster_transport_knob_defaults(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_EXECUTOR", "cluster")
+        monkeypatch.setenv("REPRO_WORKERS", "127.0.0.1:42701")
+        for var in ("REPRO_MAX_INFLIGHT", "REPRO_WIRE_CODEC",
+                    "REPRO_FETCH_PREFETCH"):
+            monkeypatch.delenv(var, raising=False)
+        rc = main(["engine-info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 batches/link" in out  # REPRO_MAX_INFLIGHT default
+        assert "zlib" in out            # REPRO_WIRE_CODEC default
+        assert "fetch prefetch" in out and "off" in out
+
     def test_generate_accepts_budget_flags(self, seed_pcap, tmp_path, capsys):
         rc = main(
             [

@@ -75,13 +75,14 @@ class TestNetProto:
         a, b = socket.socketpair()
         try:
             payload = np.arange(1000, dtype=np.int64).tobytes()
-            sent = send_message(a, ("run", {"k": 1}), [payload, b"tail"])
-            assert sent > len(payload)
-            obj, buffers, received = recv_message(b)
+            wire, raw = send_message(a, ("run", {"k": 1}), [payload, b"tail"])
+            assert raw > len(payload)
+            obj, buffers, received, received_raw = recv_message(b)
             assert obj == ("run", {"k": 1})
             assert bytes(buffers[0]) == payload
             assert bytes(buffers[1]) == b"tail"
-            assert received == sent
+            assert received == wire
+            assert received_raw == raw
         finally:
             a.close()
             b.close()
@@ -132,7 +133,7 @@ class TestDaemonHandshake:
             sock = connect(addr)
             try:
                 send_message(sock, ("hello", PROTOCOL_VERSION + 999, {}))
-                obj, _buffers, _n = recv_message(sock)
+                obj, _buffers, _n, _raw = recv_message(sock)
                 assert obj[0] == "hello-err"
                 assert "protocol version mismatch" in obj[1]
             finally:
@@ -163,7 +164,7 @@ class TestDaemonHandshake:
                 with pytest.raises(ProtocolError, match="version mismatch"):
                     # Re-drive the client side manually: the daemon
                     # already rejected, so the reply is hello-err.
-                    obj, _b, _n = recv_message(sock)
+                    obj, _b, _n, _raw = recv_message(sock)
                     raise ProtocolError(obj[1])
             finally:
                 sock.close()

@@ -426,7 +426,8 @@ class TestCoalescing:
 class TestTransportMetering:
     EXPECTED_KEYS = {
         "submit_seconds", "serialize_seconds", "ipc_wait_seconds",
-        "compute_seconds", "payload_bytes", "network_bytes", "round_trips",
+        "compute_seconds", "payload_bytes", "network_bytes",
+        "network_raw_bytes", "round_trips", "overlap_seconds",
     }
 
     def test_serial_profile(self):
